@@ -1,0 +1,67 @@
+"""Experiment: the step-count relationships behind Propositions 11 and 16.
+
+Proposition 11 says λB and λC run in *lockstep* — the step counts are equal,
+program by program.  Proposition 16's bisimulation is not lockstep: one λC
+step may correspond to zero or more λS steps and vice versa.  These
+benchmarks measure the cost of checking the bisimulations on the workloads
+and record the observed step counts, regenerating the "shape" the paper
+describes: a ratio of exactly 1 for λB/λC, and a workload-dependent but
+bounded ratio for λC/λS.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gen.programs import (
+    even_odd_boundary,
+    fib_boundary,
+    twice_boundary,
+    untyped_client_bad_argument,
+    untyped_library_bad_result,
+)
+from repro.lambda_b.reduction import run as run_b
+from repro.lambda_c.reduction import run as run_c
+from repro.lambda_s.reduction import run as run_s
+from repro.properties.bisimulation import check_lockstep_b_c, check_outcomes_c_s
+from repro.translate import b_to_c, b_to_s
+
+WORKLOADS = {
+    "even_odd_8": even_odd_boundary(8),
+    "fib_6": fib_boundary(6),
+    "twice_3": twice_boundary(3),
+    "lib_blame": untyped_library_bad_result(),
+    "client_blame": untyped_client_bad_argument(),
+}
+
+
+@pytest.mark.benchmark(group="lockstep-b-c")
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_lockstep_check(benchmark, name):
+    program = WORKLOADS[name]
+    report = benchmark(check_lockstep_b_c, program, 5_000)
+    assert report.ok, report.reason
+    steps_b = run_b(program, 100_000).steps
+    steps_c = run_c(b_to_c(program), 100_000).steps
+    benchmark.extra_info["workload"] = name
+    benchmark.extra_info["steps_b"] = steps_b
+    benchmark.extra_info["steps_c"] = steps_c
+    # Proposition 11: the two calculi take exactly the same number of steps.
+    assert steps_b == steps_c
+
+
+@pytest.mark.benchmark(group="bisimulation-c-s")
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_outcome_bisimulation_check(benchmark, name):
+    program = WORKLOADS[name]
+    term_c = b_to_c(program)
+    report = benchmark(check_outcomes_c_s, term_c, 100_000)
+    assert report.ok, report.reason
+    steps_c = run_c(term_c, 200_000).steps
+    steps_s = run_s(b_to_s(program), 200_000).steps
+    benchmark.extra_info["workload"] = name
+    benchmark.extra_info["steps_c"] = steps_c
+    benchmark.extra_info["steps_s"] = steps_s
+    benchmark.extra_info["ratio_c_over_s"] = round(steps_c / max(steps_s, 1), 3)
+    # Not lockstep, but the step counts stay within a small factor of each other.
+    assert 0.2 <= steps_c / max(steps_s, 1) <= 5.0

@@ -1,0 +1,130 @@
+"""Experiment: cost and height behaviour of the composition operator ``#`` (Figure 5).
+
+The paper's pitch for λS is that composition of canonical coercions is a
+ten-line *structural recursion*: total, easy to validate, and cheap.  These
+benchmarks measure:
+
+* the cost of composing long chains of boundary coercions (the operation the
+  λS machine performs on every merge), and that the result stays at constant
+  size — this is the algorithmic heart of space efficiency;
+* the cost of composing deep higher-order coercions, and that composition
+  preserves height (Proposition 14);
+* composition via the canonicalising translation ``|·|CS`` applied to a λC
+  sequence — i.e. what a naive implementation that re-normalises would pay —
+  as the baseline for the incremental ``#``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.labels import Label
+from repro.core.types import DYN, INT, FunType
+from repro.gen.coercions_gen import random_composable_space_pair
+from repro.lambda_c.coercions import Sequence
+from repro.lambda_s.coercions import compose, height, size
+from repro.translate.b_to_s import cast_to_space
+from repro.translate.c_to_s import coercion_to_space
+from repro.translate.s_to_c import space_to_coercion
+
+
+def _boundary_chain(length: int):
+    """The coercions a boundary-crossing loop produces: in, out, in, out, ..."""
+    pieces = []
+    for index in range(length):
+        pieces.append(cast_to_space(INT, Label(f"in{index}"), DYN))
+        pieces.append(cast_to_space(DYN, Label(f"out{index}"), INT))
+    return pieces
+
+
+def _higher_order_chain(depth: int, length: int):
+    ty: object = INT
+    for _ in range(depth):
+        ty = FunType(ty, DYN)
+    pieces = []
+    for index in range(length):
+        pieces.append(cast_to_space(ty, Label(f"up{index}"), DYN))
+        pieces.append(cast_to_space(DYN, Label(f"down{index}"), ty))
+    return pieces
+
+
+@pytest.mark.benchmark(group="compose-first-order-chain")
+@pytest.mark.parametrize("length", [10, 100, 1000])
+def test_compose_boundary_chain(benchmark, length):
+    pieces = _boundary_chain(length)
+
+    def fold():
+        result = pieces[0]
+        for piece in pieces[1:]:
+            result = compose(result, piece)
+        return result
+
+    result = benchmark(fold)
+    benchmark.extra_info["chain_length"] = 2 * length
+    benchmark.extra_info["result_size"] = size(result)
+    # The whole chain collapses to a constant-size canonical coercion.
+    assert size(result) <= 2
+
+
+@pytest.mark.benchmark(group="compose-higher-order-chain")
+@pytest.mark.parametrize("depth", [1, 3, 5])
+def test_compose_higher_order_chain(benchmark, depth):
+    pieces = _higher_order_chain(depth, 50)
+
+    def fold():
+        result = pieces[0]
+        for piece in pieces[1:]:
+            result = compose(result, piece)
+        return result
+
+    result = benchmark(fold)
+    max_height = max(height(piece) for piece in pieces)
+    benchmark.extra_info["type_depth"] = depth
+    benchmark.extra_info["result_height"] = height(result)
+    benchmark.extra_info["max_input_height"] = max_height
+    # Proposition 14: composition never increases height.
+    assert height(result) <= max_height
+
+
+@pytest.mark.benchmark(group="compose-vs-renormalise")
+@pytest.mark.parametrize("approach", ["sharp", "renormalise"])
+def test_sharp_versus_renormalising_baseline(benchmark, approach):
+    """``#`` on canonical forms versus re-normalising the λC composition.
+
+    The renormalising baseline is what an implementation without a dedicated
+    composition operator would do (cf. Herman et al.'s normal forms); the
+    incremental ``#`` should be at least as fast and is what λS specifies.
+    """
+    rng = random.Random(20150613)
+    pairs = [random_composable_space_pair(rng, length=3, depth=3) for _ in range(50)]
+
+    def run_sharp():
+        return [compose(s, t) for s, t, *_ in pairs]
+
+    def run_renormalise():
+        return [
+            coercion_to_space(Sequence(space_to_coercion(s), space_to_coercion(t)))
+            for s, t, *_ in pairs
+        ]
+
+    results = benchmark(run_sharp if approach == "sharp" else run_renormalise)
+    benchmark.extra_info["pairs"] = len(pairs)
+    # Both approaches agree (the correctness claim behind Figure 6).
+    reference = [compose(s, t) for s, t, *_ in pairs]
+    assert results == reference
+
+
+@pytest.mark.benchmark(group="compose-random")
+def test_compose_random_pairs_throughput(benchmark):
+    rng = random.Random(7)
+    pairs = [random_composable_space_pair(rng, length=4, depth=4) for _ in range(200)]
+
+    def fold():
+        return [compose(s, t) for s, t, *_ in pairs]
+
+    composed = benchmark(fold)
+    benchmark.extra_info["pairs"] = len(pairs)
+    assert all(height(c) <= max(height(s), height(t))
+               for c, (s, t, *_rest) in zip(composed, pairs))

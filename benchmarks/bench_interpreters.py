@@ -1,0 +1,74 @@
+"""Experiment: run-time cost of the three calculi on gradually typed workloads.
+
+The paper argues λS is "implementation-ready": the space discipline should
+not make programs slower.  These benchmarks compare the CEK machines of the
+three calculi on the boundary workloads (time), and the paper-faithful
+small-step reducers on small instances (where λC's composition-splitting and
+λS's merging give different step counts but comparable cost).
+
+Expected shape: the three machines are within a small constant factor of one
+another on converging workloads, while the λS machine wins asymptotically on
+deep boundary recursion because its continuation stays small.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gen.programs import (
+    even_odd_boundary,
+    even_odd_expected,
+    fib_boundary,
+    fib_expected,
+    twice_boundary,
+    typed_loop_untyped_step,
+)
+from repro.machine import run_on_machine
+from repro.properties.calculi import CALCULI
+from repro.translate import b_to_c, b_to_s
+
+MACHINE_WORKLOADS = {
+    "even_odd_400": (even_odd_boundary(400), lambda v: v is even_odd_expected(400)),
+    "fib_12": (fib_boundary(12), lambda v: v == fib_expected(12)),
+    "typed_loop_300": (typed_loop_untyped_step(300), lambda v: v == 0),
+    "twice_10": (twice_boundary(10), lambda v: v == 12),
+}
+
+
+@pytest.mark.benchmark(group="machine-throughput")
+@pytest.mark.parametrize("calculus", ["B", "C", "S"])
+@pytest.mark.parametrize("name", sorted(MACHINE_WORKLOADS))
+def test_machine_throughput(benchmark, name, calculus):
+    program, check = MACHINE_WORKLOADS[name]
+
+    def run():
+        return run_on_machine(program, calculus)
+
+    outcome = benchmark(run)
+    assert outcome.is_value and check(outcome.python_value())
+    benchmark.extra_info["workload"] = name
+    benchmark.extra_info["calculus"] = calculus
+    benchmark.extra_info["machine_steps"] = outcome.stats["steps"]
+    benchmark.extra_info["max_pending_mediators"] = outcome.stats["max_pending_mediators"]
+
+
+@pytest.mark.benchmark(group="small-step-throughput")
+@pytest.mark.parametrize("calculus", ["B", "C", "S"])
+def test_small_step_throughput(benchmark, calculus):
+    """The literal reduction relations of Figures 1, 3 and 5 on a small instance."""
+    program_b = even_odd_boundary(12)
+    if calculus == "B":
+        term = program_b
+    elif calculus == "C":
+        term = b_to_c(program_b)
+    else:
+        term = b_to_s(program_b)
+    ops = CALCULI[calculus]
+
+    def run():
+        return ops.run(term, 100_000)
+
+    outcome = benchmark(run)
+    assert outcome.is_value
+    benchmark.extra_info["calculus"] = calculus
+    benchmark.extra_info["reduction_steps"] = outcome.steps

@@ -1,0 +1,74 @@
+"""Experiment: threesome composition (§6.1) versus λS composition ``#``.
+
+Siek & Wadler (2010)'s threesomes are "easy to compute, but hard to
+understand"; λS's canonical coercions are both.  This benchmark compares the
+two composition algorithms on the same work — long chains of boundary
+crossings and random composable pairs — and asserts they produce the same
+result (through the representation map), reproducing the equivalence the
+paper argues in §6.1.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.labels import Label
+from repro.core.types import DYN, INT
+from repro.gen.coercions_gen import random_composable_space_pair
+from repro.lambda_s.coercions import compose
+from repro.threesomes import compose_labeled, labeled_of_coercion
+from repro.translate.b_to_s import cast_to_space
+
+
+def _boundary_chain(length: int):
+    pieces = []
+    for index in range(length):
+        pieces.append(cast_to_space(INT, Label(f"in{index}"), DYN))
+        pieces.append(cast_to_space(DYN, Label(f"out{index}"), INT))
+    return pieces
+
+
+@pytest.mark.benchmark(group="threesomes-vs-sharp-chain")
+@pytest.mark.parametrize("algorithm", ["sharp", "threesomes"])
+def test_chain_composition(benchmark, algorithm):
+    pieces = _boundary_chain(200)
+    labeled_pieces = [labeled_of_coercion(piece) for piece in pieces]
+
+    def fold_sharp():
+        result = pieces[0]
+        for piece in pieces[1:]:
+            result = compose(result, piece)
+        return labeled_of_coercion(result)
+
+    def fold_threesomes():
+        result = labeled_pieces[0]
+        for piece in labeled_pieces[1:]:
+            result = compose_labeled(result, piece)
+        return result
+
+    result = benchmark(fold_sharp if algorithm == "sharp" else fold_threesomes)
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["chain_length"] = len(pieces)
+    # Both algorithms compute the same mediating representation.
+    assert result == fold_sharp()
+
+
+@pytest.mark.benchmark(group="threesomes-vs-sharp-random")
+@pytest.mark.parametrize("algorithm", ["sharp", "threesomes"])
+def test_random_pair_composition(benchmark, algorithm):
+    rng = random.Random(20100117)
+    pairs = [random_composable_space_pair(rng, length=3, depth=3) for _ in range(100)]
+    labeled_pairs = [(labeled_of_coercion(s), labeled_of_coercion(t)) for s, t, *_ in pairs]
+
+    def run_sharp():
+        return [labeled_of_coercion(compose(s, t)) for s, t, *_ in pairs]
+
+    def run_threesomes():
+        return [compose_labeled(p, q) for p, q in labeled_pairs]
+
+    results = benchmark(run_sharp if algorithm == "sharp" else run_threesomes)
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["pairs"] = len(pairs)
+    assert results == run_sharp()

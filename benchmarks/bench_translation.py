@@ -1,0 +1,72 @@
+"""Experiment: cost of the translations of Figures 4 and 6.
+
+The translations are the compiler passes of a gradually typed language built
+on these calculi: cast insertion produces λB, ``|·|BC`` compiles casts to
+coercions, and ``|·|CS`` normalises them for the space-efficient back end.
+These benchmarks measure each pass (and the surface front end) on the
+workload programs, confirming the passes are linear-time in practice and
+that normalisation shrinks long cast chains.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.terms import count_casts, count_coercions, term_size
+from repro.gen.programs import deep_cast_chain, even_odd_boundary, fib_boundary
+from repro.surface.cast_insertion import elaborate_program
+from repro.surface.parser import parse_program
+from repro.translate import b_to_c, c_to_b, c_to_s
+
+WORKLOADS = {
+    "even_odd": even_odd_boundary(10),
+    "fib": fib_boundary(5),
+    "deep_chain": deep_cast_chain(200),
+}
+
+SURFACE_SOURCE = """
+(define (even [n : int]) : bool
+  (if (zero? n) #t (: (: (even (- n 1)) ?) bool)))
+(even 50)
+"""
+
+
+@pytest.mark.benchmark(group="translate-b-to-c")
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_translate_b_to_c(benchmark, name):
+    term = WORKLOADS[name]
+    translated = benchmark(b_to_c, term)
+    benchmark.extra_info["workload"] = name
+    benchmark.extra_info["casts"] = count_casts(term)
+    benchmark.extra_info["coercions"] = count_coercions(translated)
+    assert count_coercions(translated) == count_casts(term)
+
+
+@pytest.mark.benchmark(group="translate-c-to-s")
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_translate_c_to_s(benchmark, name):
+    term_c = b_to_c(WORKLOADS[name])
+    translated = benchmark(c_to_s, term_c)
+    benchmark.extra_info["workload"] = name
+    benchmark.extra_info["size_before"] = term_size(term_c)
+    benchmark.extra_info["size_after"] = term_size(translated)
+
+
+@pytest.mark.benchmark(group="translate-c-to-b")
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_translate_c_back_to_b(benchmark, name):
+    term_c = b_to_c(WORKLOADS[name])
+    translated = benchmark(c_to_b, term_c)
+    benchmark.extra_info["workload"] = name
+    benchmark.extra_info["casts_after_round_trip"] = count_casts(translated)
+
+
+@pytest.mark.benchmark(group="surface-front-end")
+def test_parse_and_elaborate(benchmark):
+    def front_end():
+        program = parse_program(SURFACE_SOURCE)
+        return elaborate_program(program)
+
+    term, ty = benchmark(front_end)
+    benchmark.extra_info["casts_inserted"] = count_casts(term)
+    assert count_casts(term) > 0

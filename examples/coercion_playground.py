@@ -1,0 +1,87 @@
+"""Coercion playground: casts, coercions, canonical forms, and composition.
+
+This example works at the level of the calculi rather than whole programs.
+It shows, for a handful of interesting casts:
+
+* the coercion ``|A ⇒p B|BC`` of Figure 4;
+* its canonical (space-efficient) form ``|·|CS`` of Figure 6;
+* the reverse translation ``|·|CB`` back to a sequence of casts;
+* and how the composition operator ``#`` collapses long chains of casts —
+  including the "threesome" factorings of the Fundamental Property of Casts
+  (Lemma 21).
+
+Run with::
+
+    python examples/coercion_playground.py
+"""
+
+from __future__ import annotations
+
+from repro.core.labels import label
+from repro.core.pretty import cast_to_str
+from repro.core.subtyping import meet
+from repro.core.types import BOOL, DYN, INT, FunType
+from repro.lambda_c.coercions import height as height_c
+from repro.lambda_c.coercions import size as size_c
+from repro.lambda_s.coercions import compose, height, size
+from repro.translate.b_to_c import cast_to_coercion
+from repro.translate.b_to_s import cast_to_space
+from repro.translate.c_to_b import coercion_to_casts
+from repro.translate.c_to_s import coercion_to_space
+
+P = label("p")
+Q = label("q")
+I2I = FunType(INT, INT)
+D2D = FunType(DYN, DYN)
+
+
+def show_cast(source, lbl, target) -> None:
+    print(f"cast              : {cast_to_str(source, lbl, target)}")
+    coercion = cast_to_coercion(source, lbl, target)
+    print(f"|·|BC  (λC)       : {coercion}   (height {height_c(coercion)}, size {size_c(coercion)})")
+    canonical = coercion_to_space(coercion)
+    print(f"|·|CS  (λS)       : {canonical}   (height {height(canonical)}, size {size(canonical)})")
+    casts = coercion_to_casts(coercion)
+    rendered = ", ".join(cast_to_str(spec.source, spec.label, spec.target) for spec in casts)
+    print(f"|·|CB  (casts)    : [{rendered}]")
+    print()
+
+
+def show_composition_chain(width: int) -> None:
+    print(f"A chain of {width} int ⇒ ? ⇒ int round trips, composed with #:")
+    chain = None
+    for index in range(width):
+        inject = cast_to_space(INT, label(f"in{index}"), DYN)
+        project = cast_to_space(DYN, label(f"out{index}"), INT)
+        step = compose(inject, project)
+        chain = step if chain is None else compose(chain, step)
+    print(f"  canonical form  : {chain}")
+    print(f"  size            : {size(chain)} (independent of the chain length)")
+    print()
+
+
+def show_fundamental_property() -> None:
+    a, b = I2I, DYN
+    mediator = meet(a, b)
+    print("Fundamental Property of Casts (Lemma 21):")
+    print(f"  A = {a},  B = {b},  A & B = {mediator}")
+    direct = cast_to_space(a, P, b)
+    through = compose(cast_to_space(a, P, mediator), cast_to_space(mediator, P, b))
+    print(f"  |A ⇒p B|BS                    : {direct}")
+    print(f"  |A ⇒p A&B|BS # |A&B ⇒p B|BS   : {through}")
+    print(f"  equal?                        : {direct == through}")
+    print()
+
+
+def main() -> None:
+    print(__doc__)
+    show_cast(INT, P, DYN)
+    show_cast(DYN, P, INT)
+    show_cast(I2I, P, D2D)
+    show_cast(DYN, Q, FunType(INT, BOOL))
+    show_composition_chain(8)
+    show_fundamental_property()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Quick smoke test exercised during development (not part of the test suite)."""
+
+from repro.core import DYN, INT, Label, label
+from repro.core.terms import App, Cast, Const, Lam, Var, const_int
+from repro.lambda_b import run as run_b, type_of as type_b
+from repro.lambda_c import run as run_c, type_of as type_c
+from repro.lambda_s import run as run_s, type_of as type_s
+from repro.lambda_b.embed import embed
+from repro.translate import b_to_c, b_to_s, c_to_s
+
+p = label("p")
+q = label("q")
+
+# (λx:?. x : ? => int) (7 : int => ?)
+term = App(
+    Lam("x", DYN, Cast(Var("x"), DYN, INT, q)),
+    Cast(const_int(7), INT, DYN, p),
+)
+print("typeB:", type_b(term))
+print("B:", run_b(term))
+term_c = b_to_c(term)
+print("typeC:", type_c(term_c))
+print("C:", run_c(term_c))
+term_s = c_to_s(term_c)
+print("typeS:", type_s(term_s))
+print("S:", run_s(term_s))
+
+# A failing projection: (7 : int => ? => bool)
+from repro.core import BOOL
+
+bad = Cast(Cast(const_int(7), INT, DYN, p), DYN, BOOL, q)
+print("B bad:", run_b(bad))
+print("C bad:", run_c(b_to_c(bad)))
+print("S bad:", run_s(b_to_s(bad)))
+
+# Embedded dynamic program: (λx. x + 1) 41
+from repro.core.terms import Op
+
+dyn_prog = App(Lam("x", DYN, Op("+", (Var("x"), const_int(41)))), const_int(1))
+emb = embed(dyn_prog)
+print("embed B:", run_b(emb))
+print("embed C:", run_c(b_to_c(emb)))
+print("embed S:", run_s(b_to_s(emb)))

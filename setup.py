@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can be installed in editable mode (``pip install -e .``) on
+environments whose setuptools/pip predate full PEP 660 support (for example,
+offline machines without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""repro — a reproduction of "Blame and Coercion: Together Again for the First Time".
+
+The package provides three calculi for gradual typing and the translations
+between them:
+
+* :mod:`repro.lambda_b` — the blame calculus λB (casts with blame labels);
+* :mod:`repro.lambda_c` — the coercion calculus λC (Henglein coercions);
+* :mod:`repro.lambda_s` — the space-efficient coercion calculus λS
+  (canonical coercions with the composition operator ``#``);
+* :mod:`repro.translate` — the translations ``|·|BC``, ``|·|CB``, ``|·|CS``,
+  ``|·|SC`` and ``|·|BS``;
+* :mod:`repro.core` — types, blame labels, subtyping, the shared term AST;
+* :mod:`repro.surface` — a gradually typed surface language with cast
+  insertion into λB;
+* :mod:`repro.machine` — CEK-style abstract machines with space profiling;
+* :mod:`repro.properties` — executable checkers for the paper's metatheory;
+* :mod:`repro.threesomes`, :mod:`repro.supercoercions` — the related-work
+  baselines of Section 6;
+* :mod:`repro.gen` — random generators for property tests and benchmarks.
+
+Quickstart::
+
+    from repro import surface, lambda_b, translate, lambda_s
+
+    program = surface.parse("((lambda ([x : int]) (* x x)) (: 7 ?))")
+    cast_term = surface.insert_casts(program)
+    print(lambda_b.run(cast_term))                     # runs in λB
+    print(lambda_s.run(translate.b_to_s(cast_term)))   # runs space-efficiently in λS
+"""
+
+from . import (
+    core,
+    gen,
+    lambda_b,
+    lambda_c,
+    lambda_s,
+    machine,
+    properties,
+    supercoercions,
+    surface,
+    threesomes,
+    translate,
+)
+from .core import (
+    BOOL,
+    DYN,
+    INT,
+    STR,
+    UNIT,
+    BaseType,
+    FunType,
+    Label,
+    ProdType,
+    Type,
+    label,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "gen",
+    "lambda_b",
+    "lambda_c",
+    "lambda_s",
+    "machine",
+    "properties",
+    "supercoercions",
+    "surface",
+    "threesomes",
+    "translate",
+    "BOOL",
+    "DYN",
+    "INT",
+    "STR",
+    "UNIT",
+    "BaseType",
+    "FunType",
+    "Label",
+    "ProdType",
+    "Type",
+    "label",
+    "__version__",
+]

@@ -1,0 +1,139 @@
+"""Command-line interface: run, type-check, translate, and profile gradual programs.
+
+Installed as ``repro-gradual``.  Subcommands:
+
+* ``run FILE``        — parse, type check, insert casts, evaluate (choose the
+  calculus with ``--calculus`` and the backend with ``--small-step``).
+* ``check FILE``      — static gradual type checking only.
+* ``translate FILE``  — print the elaborated λB term, or its λC / λS translation.
+* ``space N``         — reproduce the space-efficiency experiment for the
+  even/odd boundary workload at size ``N`` on all three machines.
+
+Example::
+
+    repro-gradual run examples/programs/square.grad --calculus S --show-space
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.errors import ParseError, ReproError, TypeCheckError
+from .core.pretty import term_to_str
+from .gen.programs import even_odd_boundary
+from .machine import run_on_machine
+from .surface.cast_insertion import elaborate_program
+from .surface.interp import run_term
+from .surface.parser import parse_program
+from .translate import b_to_c, b_to_s
+
+
+def _load_program(path: str):
+    source = Path(path).read_text()
+    return parse_program(source)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    term, ty = elaborate_program(program)
+    result = run_term(
+        term,
+        ty,
+        calculus=args.calculus,
+        use_machine=not args.small_step,
+        fuel=args.fuel,
+    )
+    print(result)
+    if args.show_space and result.space_stats is not None:
+        stats = result.space_stats
+        print(
+            "space: pending-mediators max={max_pending_mediators} "
+            "pending-size max={max_pending_size} kont-depth max={max_kont_depth} "
+            "steps={steps}".format(**stats)
+        )
+    return 0 if result.kind == "value" else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    try:
+        _, ty = elaborate_program(program)
+    except TypeCheckError as exc:
+        print(f"static type error: {exc}")
+        return 1
+    print(f"well typed : {ty}")
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    program = _load_program(args.file)
+    term, _ = elaborate_program(program)
+    if args.to == "b":
+        print(term_to_str(term))
+    elif args.to == "c":
+        print(term_to_str(b_to_c(term)))
+    else:
+        print(term_to_str(b_to_s(term)))
+    return 0
+
+
+def _cmd_space(args: argparse.Namespace) -> int:
+    n = args.n
+    print(f"even/odd boundary workload, n = {n}")
+    print(f"{'calculus':>8} {'pending frames':>16} {'pending size':>14} {'kont depth':>12} {'steps':>10}")
+    for calculus in ("B", "C", "S"):
+        outcome = run_on_machine(even_odd_boundary(n), calculus)
+        stats = outcome.stats
+        print(
+            f"{calculus:>8} {stats['max_pending_mediators']:>16} "
+            f"{stats['max_pending_size']:>14} {stats['max_kont_depth']:>12} {stats['steps']:>10}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gradual",
+        description="Gradually typed language toolchain from 'Blame and Coercion' (PLDI 2015).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run a gradual program")
+    run_parser.add_argument("file")
+    run_parser.add_argument("--calculus", choices=["B", "C", "S", "b", "c", "s"], default="S")
+    run_parser.add_argument("--small-step", action="store_true",
+                            help="use the paper-faithful small-step reducer instead of the CEK machine")
+    run_parser.add_argument("--show-space", action="store_true", help="print space statistics")
+    run_parser.add_argument("--fuel", type=int, default=None)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    check_parser = sub.add_parser("check", help="gradually type check a program")
+    check_parser.add_argument("file")
+    check_parser.set_defaults(handler=_cmd_check)
+
+    translate_parser = sub.add_parser("translate", help="print a program's cast/coercion form")
+    translate_parser.add_argument("file")
+    translate_parser.add_argument("--to", choices=["b", "c", "s"], default="b")
+    translate_parser.set_defaults(handler=_cmd_translate)
+
+    space_parser = sub.add_parser("space", help="run the space-efficiency experiment")
+    space_parser.add_argument("n", type=int, nargs="?", default=1000)
+    space_parser.set_defaults(handler=_cmd_space)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ParseError, ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Immutable type environments ``Γ`` shared by every type checker."""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from .errors import TypeCheckError
+from .types import Type
+
+
+class TypeEnv:
+    """An immutable mapping from variable names to types.
+
+    Extension returns a new environment; the original is never mutated, so
+    environments can be shared freely between recursive calls of the type
+    checkers.
+    """
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Mapping[str, Type] | None = None):
+        self._bindings: dict[str, Type] = dict(bindings or {})
+
+    @staticmethod
+    def empty() -> "TypeEnv":
+        return TypeEnv()
+
+    def extend(self, name: str, ty: Type) -> "TypeEnv":
+        """Return ``Γ, x:A``."""
+        new = dict(self._bindings)
+        new[name] = ty
+        return TypeEnv(new)
+
+    def lookup(self, name: str) -> Type:
+        """Look up ``x`` in ``Γ``, raising :class:`TypeCheckError` if unbound."""
+        try:
+            return self._bindings[name]
+        except KeyError as exc:
+            raise TypeCheckError(f"unbound variable: {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TypeEnv) and self._bindings == other._bindings
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}: {v}" for k, v in sorted(self._bindings.items()))
+        return f"TypeEnv({{{inner}}})"
+
+
+EMPTY_ENV = TypeEnv()

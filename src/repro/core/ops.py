@@ -1,0 +1,133 @@
+"""Primitive operators on base types.
+
+Figure 1: "Each operator ``op`` on base types is specified by a total meaning
+function ``[[op]]`` that preserves types: if ``op : ι⃗ → ι`` and ``k⃗ : ι⃗``,
+then ``[[op]](k⃗) = k`` with ``k : ι``."
+
+Every operator registered here is total on well-typed constant arguments;
+in particular division and modulo are made total by mapping division by zero
+to ``0`` (documented deviation in DESIGN.md).  Operators only consume and
+produce *base-type* constants, exactly as in the paper — higher-order
+behaviour always goes through application and casts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from .errors import EvaluationError, TypeCheckError
+from .types import BOOL, INT, STR, UNIT, BaseType, Type
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Signature and meaning function of a primitive operator.
+
+    Attributes:
+        name: the operator's surface name (e.g. ``"+"``).
+        arg_types: the base types of the operands, ``ι⃗``.
+        result_type: the base type of the result, ``ι``.
+        meaning: the total meaning function ``[[op]]``.
+    """
+
+    name: str
+    arg_types: tuple[BaseType, ...]
+    result_type: BaseType
+    meaning: Callable[..., object]
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_types)
+
+    def apply(self, args: Sequence[object]) -> object:
+        """Apply the meaning function, checking arity."""
+        if len(args) != self.arity:
+            raise EvaluationError(
+                f"operator {self.name!r} expects {self.arity} arguments, got {len(args)}"
+            )
+        return self.meaning(*args)
+
+
+def _total_div(a: int, b: int) -> int:
+    return 0 if b == 0 else a // b
+
+
+def _total_mod(a: int, b: int) -> int:
+    return 0 if b == 0 else a % b
+
+
+def _build_registry() -> dict[str, OpSpec]:
+    specs = [
+        # Integer arithmetic.
+        OpSpec("+", (INT, INT), INT, lambda a, b: a + b),
+        OpSpec("-", (INT, INT), INT, lambda a, b: a - b),
+        OpSpec("*", (INT, INT), INT, lambda a, b: a * b),
+        OpSpec("/", (INT, INT), INT, _total_div),
+        OpSpec("%", (INT, INT), INT, _total_mod),
+        OpSpec("neg", (INT,), INT, lambda a: -a),
+        OpSpec("abs", (INT,), INT, abs),
+        OpSpec("min", (INT, INT), INT, min),
+        OpSpec("max", (INT, INT), INT, max),
+        OpSpec("inc", (INT,), INT, lambda a: a + 1),
+        OpSpec("dec", (INT,), INT, lambda a: a - 1),
+        # Integer comparisons.
+        OpSpec("=", (INT, INT), BOOL, lambda a, b: a == b),
+        OpSpec("<", (INT, INT), BOOL, lambda a, b: a < b),
+        OpSpec("<=", (INT, INT), BOOL, lambda a, b: a <= b),
+        OpSpec(">", (INT, INT), BOOL, lambda a, b: a > b),
+        OpSpec(">=", (INT, INT), BOOL, lambda a, b: a >= b),
+        OpSpec("zero?", (INT,), BOOL, lambda a: a == 0),
+        OpSpec("even?", (INT,), BOOL, lambda a: a % 2 == 0),
+        OpSpec("odd?", (INT,), BOOL, lambda a: a % 2 == 1),
+        # Booleans.
+        OpSpec("not", (BOOL,), BOOL, lambda a: not a),
+        OpSpec("and", (BOOL, BOOL), BOOL, lambda a, b: a and b),
+        OpSpec("or", (BOOL, BOOL), BOOL, lambda a, b: a or b),
+        OpSpec("bool=", (BOOL, BOOL), BOOL, lambda a, b: a == b),
+        # Strings.
+        OpSpec("string-append", (STR, STR), STR, lambda a, b: a + b),
+        OpSpec("string-length", (STR,), INT, len),
+        OpSpec("string=", (STR, STR), BOOL, lambda a, b: a == b),
+        OpSpec("int->string", (INT,), STR, str),
+        # Unit.
+        OpSpec("unit", (), UNIT, lambda: None),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+#: Registry of the built-in operators, keyed by name.
+OPS: Mapping[str, OpSpec] = _build_registry()
+
+
+def op_spec(name: str) -> OpSpec:
+    """Look up an operator, raising :class:`TypeCheckError` if unknown."""
+    try:
+        return OPS[name]
+    except KeyError as exc:
+        raise TypeCheckError(f"unknown primitive operator: {name!r}") from exc
+
+
+def op_exists(name: str) -> bool:
+    return name in OPS
+
+
+def constant_type(value: object) -> Type:
+    """The base type of a Python constant used as ``k : ι``."""
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, str):
+        return STR
+    if value is None:
+        return UNIT
+    raise TypeCheckError(f"no base type for constant {value!r}")
+
+
+def check_constant(value: object, ty: Type) -> bool:
+    """Does the Python constant ``value`` inhabit base type ``ty``?"""
+    try:
+        return constant_type(value) == ty
+    except TypeCheckError:
+        return False

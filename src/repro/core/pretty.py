@@ -1,0 +1,101 @@
+"""Pretty-printing of terms, casts, and coercions in the paper's notation.
+
+The printers aim to make test failures and blame messages readable: a λB cast
+prints as ``M : A =>p B``, a coercion application as ``M<c>``, and the
+canonical coercions of λS print exactly as the grammar of Figure 5.
+"""
+
+from __future__ import annotations
+
+from .terms import (
+    App,
+    Blame,
+    Cast,
+    Coerce,
+    Const,
+    Fix,
+    Fst,
+    If,
+    Lam,
+    Let,
+    Op,
+    Pair,
+    Snd,
+    Term,
+    Var,
+)
+from .types import Type, type_to_str
+
+
+def _atomic(term: Term) -> bool:
+    return isinstance(term, (Const, Var, Blame))
+
+
+def _paren(text: str, needed: bool) -> str:
+    return f"({text})" if needed else text
+
+
+def const_to_str(value: object) -> str:
+    if value is None:
+        return "unit"
+    if isinstance(value, bool):
+        return "#t" if value else "#f"
+    if isinstance(value, str):
+        return repr(value)
+    return str(value)
+
+
+def term_to_str(term: Term) -> str:
+    """Render a term of any of the three calculi."""
+    if isinstance(term, Const):
+        return const_to_str(term.value)
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Blame):
+        return f"blame {term.label}"
+    if isinstance(term, Op):
+        args = ", ".join(term_to_str(a) for a in term.args)
+        return f"{term.op}({args})"
+    if isinstance(term, Lam):
+        return f"\\{term.param}:{type_to_str(term.param_type)}. {term_to_str(term.body)}"
+    if isinstance(term, App):
+        fun = _paren(term_to_str(term.fun), isinstance(term.fun, (Lam, Cast, Coerce, If, Let, Fix)))
+        arg = _paren(term_to_str(term.arg), not _atomic(term.arg))
+        return f"{fun} {arg}"
+    if isinstance(term, Cast):
+        subject = _paren(term_to_str(term.subject), not _atomic(term.subject))
+        return (
+            f"{subject} : {type_to_str(term.source)} =>{term.label} {type_to_str(term.target)}"
+        )
+    if isinstance(term, Coerce):
+        subject = _paren(term_to_str(term.subject), not _atomic(term.subject))
+        return f"{subject}<{term.coercion}>"
+    if isinstance(term, If):
+        return (
+            f"if {term_to_str(term.cond)} then {term_to_str(term.then_branch)} "
+            f"else {term_to_str(term.else_branch)}"
+        )
+    if isinstance(term, Let):
+        return f"let {term.name} = {term_to_str(term.bound)} in {term_to_str(term.body)}"
+    if isinstance(term, Fix):
+        return f"fix[{type_to_str(term.fun_type)}] {_paren(term_to_str(term.fun), not _atomic(term.fun))}"
+    if isinstance(term, Pair):
+        return f"({term_to_str(term.left)}, {term_to_str(term.right)})"
+    if isinstance(term, Fst):
+        return f"fst {_paren(term_to_str(term.arg), not _atomic(term.arg))}"
+    if isinstance(term, Snd):
+        return f"snd {_paren(term_to_str(term.arg), not _atomic(term.arg))}"
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+def cast_to_str(source: Type, label, target: Type) -> str:
+    """Render a bare cast ``A =>p B``."""
+    return f"{type_to_str(source)} =>{label} {type_to_str(target)}"
+
+
+def summary(term: Term, max_length: int = 120) -> str:
+    """A truncated rendering for progress/debug messages."""
+    text = term_to_str(term)
+    if len(text) <= max_length:
+        return text
+    return text[: max_length - 3] + "..."

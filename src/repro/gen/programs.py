@@ -1,0 +1,340 @@
+"""Hand-written gradually typed workloads used by examples, tests and benchmarks.
+
+These are the programs the paper's introduction motivates: typed and untyped
+code calling back and forth across a boundary, with every crossing mediated
+by casts.  All builders return closed, well-typed λB terms; run them in λC or
+λS by translating with ``repro.translate``.
+
+The flagship workload is :func:`even_odd_boundary` — two mutually recursive
+functions, one statically typed and one dynamically typed, whose mutual tail
+calls are exactly the scenario in which a naive implementation of casts needs
+space proportional to the number of calls while λS runs in bounded space
+(Herman et al. 2007/2010, Section 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from ..core.labels import Label, LabelSupply
+from ..core.terms import (
+    App,
+    Cast,
+    Fix,
+    Fst,
+    If,
+    Lam,
+    Let,
+    Op,
+    Pair,
+    Snd,
+    Term,
+    Var,
+    const_bool,
+    const_int,
+)
+from ..core.types import BOOL, DYN, GROUND_FUN, INT, FunType, ProdType
+from ..lambda_b.embed import embed
+
+INT_TO_BOOL = FunType(INT, BOOL)
+INT_TO_INT = FunType(INT, INT)
+
+
+def _labels(prefix: str) -> LabelSupply:
+    return LabelSupply(prefix=prefix)
+
+
+# ---------------------------------------------------------------------------
+# The space-leak workload: mutually recursive even/odd across a boundary
+# ---------------------------------------------------------------------------
+
+
+def even_odd_boundary(n: int) -> Term:
+    """``even n`` where ``even : int→bool`` is typed and ``odd`` is dynamically typed.
+
+    Every call from ``even`` to ``odd`` casts the argument into ``?`` and the
+    result back to ``bool``; every call from ``odd`` to ``even`` casts the
+    result back into ``?``.  The pending result casts are what a naive
+    implementation accumulates; λS collapses them with ``#``.
+    """
+    supply = _labels("eo")
+    l_proj_m = supply.fresh("odd-arg-proj")
+    l_false = supply.fresh("odd-base")
+    l_odd_res = supply.fresh("odd-result")
+    l_even_arg = supply.fresh("even-arg-inj")
+    l_even_res = supply.fresh("even-result-proj")
+
+    # odd : ?→?, dynamically typed code written against the dynamic type.
+    odd = Lam(
+        "m",
+        DYN,
+        If(
+            Op("zero?", (Cast(Var("m"), DYN, INT, l_proj_m),)),
+            Cast(const_bool(False), BOOL, DYN, l_false),
+            Cast(
+                App(
+                    Var("even"),
+                    Op("-", (Cast(Var("m"), DYN, INT, l_proj_m), const_int(1))),
+                ),
+                BOOL,
+                DYN,
+                l_odd_res,
+            ),
+        ),
+    )
+
+    # even : int→bool, statically typed code calling the untyped odd.
+    even_body = Lam(
+        "n",
+        INT,
+        Let(
+            "odd",
+            odd,
+            If(
+                Op("zero?", (Var("n"),)),
+                const_bool(True),
+                Cast(
+                    App(
+                        Var("odd"),
+                        Cast(Op("-", (Var("n"), const_int(1))), INT, DYN, l_even_arg),
+                    ),
+                    DYN,
+                    BOOL,
+                    l_even_res,
+                ),
+            ),
+        ),
+    )
+
+    even = Fix(Lam("even", INT_TO_BOOL, even_body), INT_TO_BOOL)
+    return App(even, const_int(n))
+
+
+def even_odd_expected(n: int) -> bool:
+    return n % 2 == 0
+
+
+def even_odd_all_typed(n: int) -> Term:
+    """The all-typed control for the space benchmark: no boundary, no casts."""
+    even_body = Lam(
+        "n",
+        INT,
+        If(
+            Op("zero?", (Var("n"),)),
+            const_bool(True),
+            If(
+                Op("zero?", (Op("-", (Var("n"), const_int(1))),)),
+                const_bool(False),
+                App(Var("even"), Op("-", (Var("n"), const_int(2)))),
+            ),
+        ),
+    )
+    even = Fix(Lam("even", INT_TO_BOOL, even_body), INT_TO_BOOL)
+    return App(even, const_int(n))
+
+
+# ---------------------------------------------------------------------------
+# Boundary-crossing loops
+# ---------------------------------------------------------------------------
+
+
+def typed_loop_untyped_step(n: int) -> Term:
+    """A typed countdown loop whose step function is dynamically typed.
+
+    ``loop : int→int`` repeatedly applies an untyped ``dec`` (of type ``?``)
+    to its argument; the result crosses the boundary on every iteration.
+    Expected value: ``0``.
+    """
+    supply = _labels("lp")
+    dec_untyped = embed(Lam("x", DYN, Op("-", (Var("x"), const_int(1)))), supply)
+
+    loop_body = Lam(
+        "n",
+        INT,
+        If(
+            Op("zero?", (Var("n"),)),
+            const_int(0),
+            App(
+                Var("loop"),
+                Cast(
+                    App(
+                        Cast(Var("dec"), DYN, GROUND_FUN, supply.fresh("use-dec")),
+                        Cast(Var("n"), INT, DYN, supply.fresh("arg")),
+                    ),
+                    DYN,
+                    INT,
+                    supply.fresh("result"),
+                ),
+            ),
+        ),
+    )
+    loop = Fix(Lam("loop", INT_TO_INT, loop_body), INT_TO_INT)
+    return Let("dec", dec_untyped, App(loop, const_int(n)))
+
+
+def fib_boundary(n: int) -> Term:
+    """Fibonacci where every recursive call goes through the dynamic type.
+
+    ``fib`` itself is typed ``int→int`` but is accessed through a cast to
+    ``?→?`` and back, so each call installs a function proxy — the workload
+    exercises higher-order casts rather than tail calls.
+    """
+    supply = _labels("fib")
+    fib_body = Lam(
+        "n",
+        INT,
+        If(
+            Op("<", (Var("n"), const_int(2))),
+            Var("n"),
+            Let(
+                "self",
+                Cast(
+                    Cast(Var("fib"), INT_TO_INT, DYN, supply.fresh("inj")),
+                    DYN,
+                    INT_TO_INT,
+                    supply.fresh("proj"),
+                ),
+                Op(
+                    "+",
+                    (
+                        App(Var("self"), Op("-", (Var("n"), const_int(1)))),
+                        App(Var("self"), Op("-", (Var("n"), const_int(2)))),
+                    ),
+                ),
+            ),
+        ),
+    )
+    fib = Fix(Lam("fib", INT_TO_INT, fib_body), INT_TO_INT)
+    return App(fib, const_int(n))
+
+
+def fib_expected(n: int) -> int:
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+# ---------------------------------------------------------------------------
+# Blame-allocation scenarios ("well-typed programs can't be blamed")
+# ---------------------------------------------------------------------------
+
+
+def untyped_library_bad_result(label_name: str = "boundary") -> Term:
+    """A typed client imports an untyped library function through a contract.
+
+    The library promises ``int→int`` but returns a boolean; running the
+    program allocates *positive* blame to the boundary label — the fault lies
+    with the less precisely typed library code.
+    Expected outcome: ``blame boundary``.
+    """
+    boundary = Label(label_name)
+    supply = _labels("lib")
+    # Library: λx. #t  (wrapped as dynamically typed code of type ?)
+    library = embed(Lam("x", DYN, const_bool(True)), supply)
+    # Client: casts the library to int→int and applies it to 3.
+    imported = Cast(library, DYN, INT_TO_INT, boundary)
+    return Op("+", (App(imported, const_int(3)), const_int(1)))
+
+
+def untyped_client_bad_argument(label_name: str = "boundary") -> Term:
+    """An untyped client passes a boolean to a typed ``int→int`` library.
+
+    The fault lies with the client (the context of the cast), so running the
+    program allocates *negative* blame: ``blame ~boundary``.
+    """
+    boundary = Label(label_name)
+    supply = _labels("cli")
+    typed_library = Lam("x", INT, Op("+", (Var("x"), const_int(1))))
+    exported = Cast(typed_library, INT_TO_INT, DYN, boundary)
+    client = Lam(
+        "f",
+        DYN,
+        App(
+            Cast(Var("f"), DYN, GROUND_FUN, supply.fresh("use")),
+            Cast(const_bool(True), BOOL, DYN, supply.fresh("arg")),
+        ),
+    )
+    return App(client, exported)
+
+
+def safe_boundary_program(label_name: str = "boundary") -> Term:
+    """A boundary cast from a more precise type into ``?``: can never be blamed.
+
+    ``int→int <:+ ?``, so by blame safety the ``boundary`` label can never
+    receive positive blame; the program converges to ``8``.
+    """
+    boundary = Label(label_name)
+    supply = _labels("safe")
+    typed_fun = Lam("x", INT, Op("*", (Var("x"), const_int(2))))
+    exported = Cast(typed_fun, INT_TO_INT, DYN, boundary)
+    use = App(
+        Cast(exported, DYN, INT_TO_INT, supply.fresh("import")),
+        const_int(4),
+    )
+    return use
+
+
+# ---------------------------------------------------------------------------
+# Higher-order / pair workloads
+# ---------------------------------------------------------------------------
+
+
+def twice_boundary(n: int) -> Term:
+    """Apply an untyped ``twice`` combinator to a typed successor function."""
+    supply = _labels("tw")
+    twice = embed(
+        Lam("f", DYN, Lam("x", DYN, App(Var("f"), App(Var("f"), Var("x"))))), supply
+    )
+    succ = Lam("x", INT, Op("+", (Var("x"), const_int(1))))
+    applied = App(
+        Cast(
+            App(
+                Cast(twice, DYN, FunType(DYN, GROUND_FUN), supply.fresh("use-twice")),
+                Cast(succ, INT_TO_INT, DYN, supply.fresh("succ")),
+            ),
+            GROUND_FUN,
+            FunType(INT, DYN),
+            supply.fresh("result-fun"),
+        ),
+        const_int(n),
+    )
+    return Cast(applied, DYN, INT, supply.fresh("result"))
+
+
+def pair_boundary_swap() -> Term:
+    """Move a pair across the dynamic type and project both components.
+
+    Exercises the product extension: the pair is injected at ``?×?``, pulled
+    back out at ``int × bool``, and its components are recombined.
+    Expected value: ``(7, #t)`` as ``pair``.
+    """
+    supply = _labels("pr")
+    pair = Pair(const_int(7), const_bool(True))
+    injected = Cast(pair, ProdType(INT, BOOL), DYN, supply.fresh("inj"))
+    projected = Cast(injected, DYN, ProdType(INT, BOOL), supply.fresh("proj"))
+    return Pair(Fst(projected), Snd(projected))
+
+
+def deep_cast_chain(width: int, label_prefix: str = "chain") -> Term:
+    """A value pushed through ``width`` round trips between ``int`` and ``?``.
+
+    Used by the translation and composition benchmarks: the corresponding λC
+    coercion is a composition of ``2·width`` primitive coercions whose
+    canonical form in λS is just ``id`` (or a single injection).
+    """
+    supply = LabelSupply(prefix=label_prefix)
+    term: Term = const_int(42)
+    source = INT
+    for _ in range(width):
+        term = Cast(term, source, DYN, supply.fresh())
+        term = Cast(term, DYN, INT, supply.fresh())
+    return term
+
+
+WORKLOADS = {
+    "even_odd_boundary": even_odd_boundary,
+    "even_odd_all_typed": even_odd_all_typed,
+    "typed_loop_untyped_step": typed_loop_untyped_step,
+    "fib_boundary": fib_boundary,
+    "twice_boundary": twice_boundary,
+    "deep_cast_chain": deep_cast_chain,
+}

@@ -1,0 +1,211 @@
+"""Random generation of well-typed, closed, terminating λB terms.
+
+The generator produces terms that exercise every construct of the calculus —
+in particular casts into and out of the dynamic type, higher-order casts that
+wrap functions in proxies, and casts that fail at run time and allocate blame.
+Recursion (``fix``) is deliberately excluded so every generated term
+terminates, which keeps the property tests decidable; the hand-written
+workloads in :mod:`repro.gen.programs` cover recursion.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.labels import Label
+from ..core.terms import (
+    App,
+    Cast,
+    Const,
+    Fst,
+    If,
+    Lam,
+    Let,
+    Op,
+    Pair,
+    Snd,
+    Term,
+    Var,
+    const_bool,
+    const_int,
+)
+from ..core.types import (
+    BOOL,
+    DYN,
+    INT,
+    BaseType,
+    DynType,
+    FunType,
+    ProdType,
+    Type,
+    compatible,
+)
+from .types_gen import DEFAULT_LEAVES, random_compatible_type, random_type
+
+
+@dataclass
+class TermGenerator:
+    """A reproducible generator of well-typed closed λB terms.
+
+    Attributes:
+        rng: the random source.
+        max_depth: bound on the recursion depth of generation.
+        cast_probability: how eagerly to wrap subterms in (pairs of) casts.
+        label_pool_size: number of distinct blame labels to draw from.
+    """
+
+    rng: random.Random
+    max_depth: int = 5
+    cast_probability: float = 0.35
+    label_pool_size: int = 8
+    leaves: tuple[Type, ...] = DEFAULT_LEAVES
+    _label_counter: int = field(default=0, init=False)
+
+    # -- labels -------------------------------------------------------------
+
+    def fresh_label(self) -> Label:
+        self._label_counter += 1
+        index = self._label_counter % self.label_pool_size or self.label_pool_size
+        base = Label(f"g{index}")
+        return base if self.rng.random() < 0.8 else base.complement()
+
+    # -- entry points -------------------------------------------------------
+
+    def term(self, ty: Type | None = None, depth: int | None = None) -> Term:
+        """A closed well-typed term of the given (or random) type."""
+        target = ty if ty is not None else random_type(self.rng, 3, self.leaves)
+        return self._term(target, {}, self.max_depth if depth is None else depth)
+
+    def program(self) -> tuple[Term, Type]:
+        """A closed term together with its type."""
+        ty = random_type(self.rng, 3, self.leaves)
+        return self._term(ty, {}, self.max_depth), ty
+
+    # -- generation ---------------------------------------------------------
+
+    def _term(self, ty: Type, env: dict[str, Type], depth: int) -> Term:
+        term = self._term_no_cast(ty, env, depth)
+        # Optionally detour through a compatible type and cast back: this is
+        # the main source of interesting run-time cast behaviour (including
+        # blame) in generated programs.
+        if depth > 0 and self.rng.random() < self.cast_probability:
+            via = random_compatible_type(self.rng, ty, 2, self.leaves)
+            if compatible(via, ty):
+                inner = self._term_no_cast(via, env, depth - 1)
+                return Cast(inner, via, ty, self.fresh_label())
+        return term
+
+    def _vars_of_type(self, ty: Type, env: dict[str, Type]) -> list[str]:
+        return [name for name, bound in env.items() if bound == ty]
+
+    def _term_no_cast(self, ty: Type, env: dict[str, Type], depth: int) -> Term:
+        rng = self.rng
+        candidates = self._vars_of_type(ty, env)
+        if candidates and rng.random() < 0.3:
+            return Var(rng.choice(candidates))
+
+        if depth <= 0:
+            return self._leaf(ty, env)
+
+        roll = rng.random()
+
+        # Compound generation strategies, attempted in turn.
+        if roll < 0.15:
+            return self._application(ty, env, depth)
+        if roll < 0.25:
+            scrutinee = self._term(BOOL, env, depth - 1)
+            return If(
+                scrutinee,
+                self._term(ty, env, depth - 1),
+                self._term(ty, env, depth - 1),
+            )
+        if roll < 0.35:
+            bound_ty = random_type(rng, 2, self.leaves)
+            name = f"v{depth}_{rng.randrange(1000)}"
+            bound = self._term(bound_ty, env, depth - 1)
+            new_env = dict(env)
+            new_env[name] = bound_ty
+            return Let(name, bound, self._term(ty, new_env, depth - 1))
+        if roll < 0.45:
+            return self._projection(ty, env, depth)
+
+        # Type-directed introduction forms.
+        if isinstance(ty, FunType):
+            name = f"x{depth}_{rng.randrange(1000)}"
+            new_env = dict(env)
+            new_env[name] = ty.dom
+            return Lam(name, ty.dom, self._term(ty.cod, new_env, depth - 1))
+        if isinstance(ty, ProdType):
+            return Pair(self._term(ty.left, env, depth - 1), self._term(ty.right, env, depth - 1))
+        if isinstance(ty, DynType):
+            inner_ty = random_type(rng, 2, tuple(t for t in self.leaves if not isinstance(t, DynType)))
+            inner = self._term(inner_ty, env, depth - 1)
+            return Cast(inner, inner_ty, DYN, self.fresh_label())
+        if isinstance(ty, BaseType):
+            return self._base_term(ty, env, depth)
+        return self._leaf(ty, env)
+
+    def _application(self, ty: Type, env: dict[str, Type], depth: int) -> Term:
+        arg_ty = random_type(self.rng, 2, self.leaves)
+        fun = self._term(FunType(arg_ty, ty), env, depth - 1)
+        arg = self._term(arg_ty, env, depth - 1)
+        return App(fun, arg)
+
+    def _projection(self, ty: Type, env: dict[str, Type], depth: int) -> Term:
+        other = random_type(self.rng, 2, self.leaves)
+        if self.rng.random() < 0.5:
+            pair = self._term(ProdType(ty, other), env, depth - 1)
+            return Fst(pair)
+        pair = self._term(ProdType(other, ty), env, depth - 1)
+        return Snd(pair)
+
+    def _base_term(self, ty: BaseType, env: dict[str, Type], depth: int) -> Term:
+        rng = self.rng
+        if ty == INT:
+            if rng.random() < 0.5:
+                op = rng.choice(["+", "-", "*", "min", "max"])
+                return Op(op, (self._term(INT, env, depth - 1), self._term(INT, env, depth - 1)))
+            return const_int(rng.randrange(-10, 100))
+        if ty == BOOL:
+            if rng.random() < 0.5:
+                op = rng.choice(["=", "<", "<=", "zero?", "even?"])
+                if op in ("zero?", "even?"):
+                    return Op(op, (self._term(INT, env, depth - 1),))
+                return Op(op, (self._term(INT, env, depth - 1), self._term(INT, env, depth - 1)))
+            return const_bool(rng.random() < 0.5)
+        return self._leaf(ty, env)
+
+    def _leaf(self, ty: Type, env: dict[str, Type], allow_cast: bool = True) -> Term:
+        rng = self.rng
+        candidates = self._vars_of_type(ty, env)
+        if candidates:
+            return Var(rng.choice(candidates))
+        if isinstance(ty, BaseType):
+            if ty == INT:
+                return const_int(rng.randrange(-5, 50))
+            if ty == BOOL:
+                return const_bool(rng.random() < 0.5)
+            if ty.name == "str":
+                return Const(rng.choice(["a", "b", "hello"]), ty)
+            return Const(None, ty)
+        if isinstance(ty, DynType):
+            return Cast(const_int(rng.randrange(0, 10)), INT, DYN, self.fresh_label())
+        if isinstance(ty, FunType):
+            name = f"l{rng.randrange(10000)}"
+            return Lam(name, ty.dom, self._leaf(ty.cod, {**env, name: ty.dom}))
+        if isinstance(ty, ProdType):
+            return Pair(self._leaf(ty.left, env), self._leaf(ty.right, env))
+        raise ValueError(f"cannot generate a leaf of type {ty}")
+
+
+def random_lambda_b_term(seed: int, ty: Type | None = None, max_depth: int = 5) -> Term:
+    """Convenience wrapper: a reproducible random closed well-typed λB term."""
+    gen = TermGenerator(random.Random(seed), max_depth=max_depth)
+    return gen.term(ty)
+
+
+def random_programs(seed: int, count: int, max_depth: int = 5) -> list[tuple[Term, Type]]:
+    """A batch of random well-typed programs with their types."""
+    gen = TermGenerator(random.Random(seed), max_depth=max_depth)
+    return [gen.program() for _ in range(count)]

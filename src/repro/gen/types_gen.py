@@ -1,0 +1,112 @@
+"""Random generation of types, used by property tests and benchmarks.
+
+All generators take an explicit :class:`random.Random` instance so that runs
+are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..core.types import (
+    BOOL,
+    DYN,
+    INT,
+    STR,
+    DynType,
+    FunType,
+    ProdType,
+    Type,
+    compatible,
+)
+
+#: Leaf types used by default (kept small so collisions between random types
+#: are common, which is what exercises the interesting cast behaviour).
+DEFAULT_LEAVES: tuple[Type, ...] = (DYN, INT, BOOL)
+
+RICH_LEAVES: tuple[Type, ...] = (DYN, INT, BOOL, STR)
+
+
+def random_type(
+    rng: random.Random,
+    depth: int = 3,
+    leaves: Sequence[Type] = DEFAULT_LEAVES,
+    products: bool = True,
+) -> Type:
+    """A random type of height at most ``depth``."""
+    if depth <= 1 or rng.random() < 0.4:
+        return rng.choice(list(leaves))
+    shape = rng.random()
+    if products and shape < 0.3:
+        return ProdType(
+            random_type(rng, depth - 1, leaves, products),
+            random_type(rng, depth - 1, leaves, products),
+        )
+    return FunType(
+        random_type(rng, depth - 1, leaves, products),
+        random_type(rng, depth - 1, leaves, products),
+    )
+
+
+def random_compatible_type(
+    rng: random.Random,
+    ty: Type,
+    depth: int = 3,
+    leaves: Sequence[Type] = DEFAULT_LEAVES,
+    products: bool = True,
+) -> Type:
+    """A random type compatible (``~``) with ``ty``.
+
+    Compatibility is what the cast typing rule requires, so this generator is
+    the work-horse for producing well-typed casts.
+    """
+    if isinstance(ty, DynType):
+        return random_type(rng, depth, leaves, products)
+    if rng.random() < 0.25:
+        return DYN
+    if isinstance(ty, FunType) and depth > 1 and rng.random() < 0.8:
+        return FunType(
+            random_compatible_type(rng, ty.dom, depth - 1, leaves, products),
+            random_compatible_type(rng, ty.cod, depth - 1, leaves, products),
+        )
+    if isinstance(ty, ProdType) and depth > 1 and rng.random() < 0.8:
+        return ProdType(
+            random_compatible_type(rng, ty.left, depth - 1, leaves, products),
+            random_compatible_type(rng, ty.right, depth - 1, leaves, products),
+        )
+    return ty
+
+
+def random_type_pair(
+    rng: random.Random,
+    depth: int = 3,
+    leaves: Sequence[Type] = DEFAULT_LEAVES,
+    products: bool = True,
+) -> tuple[Type, Type]:
+    """A random *compatible* pair of types (suitable for a cast)."""
+    a = random_type(rng, depth, leaves, products)
+    b = random_compatible_type(rng, a, depth, leaves, products)
+    assert compatible(a, b)
+    return a, b
+
+
+def random_cast_path(
+    rng: random.Random,
+    length: int,
+    depth: int = 3,
+    leaves: Sequence[Type] = DEFAULT_LEAVES,
+    products: bool = True,
+    start: Type | None = None,
+) -> list[Type]:
+    """A chain ``T0, T1, …, Tn`` where every adjacent pair is compatible.
+
+    Such a chain describes a sequence of casts (or a composition of
+    coercions) that is well-typed end to end.
+    """
+    current = start if start is not None else random_type(rng, depth, leaves, products)
+    path = [current]
+    for _ in range(length):
+        current = random_compatible_type(rng, current, depth, leaves, products)
+        path.append(current)
+    return path

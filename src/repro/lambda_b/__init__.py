@@ -1,0 +1,25 @@
+"""λB — the blame calculus of Figure 1 (Wadler & Findler 2009, as recast by the paper)."""
+
+from .embed import embed
+from .reduction import Outcome, run, step, trace
+from .safety import cast_is_safe, term_safe_for, unsafe_labels
+from .syntax import blames_in, casts_in, is_lambda_b_term, is_value
+from .typecheck import check, type_of, well_typed
+
+__all__ = [
+    "embed",
+    "Outcome",
+    "run",
+    "step",
+    "trace",
+    "cast_is_safe",
+    "term_safe_for",
+    "unsafe_labels",
+    "blames_in",
+    "casts_in",
+    "is_lambda_b_term",
+    "is_value",
+    "check",
+    "type_of",
+    "well_typed",
+]

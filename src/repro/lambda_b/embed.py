@@ -1,0 +1,114 @@
+"""Embedding the dynamically typed λ-calculus into λB (Figure 1, ``⌈M⌉``).
+
+The embedding takes an *untyped* term (every λ-parameter implicitly has the
+dynamic type and there are no casts) and produces a λB term of type ``?``,
+inserting a fresh-labelled cast at every point where a dynamic value is
+created or consumed::
+
+    ⌈k⌉       = k : ι ⇒p ?
+    ⌈op(M⃗)⌉  = op(⌈M⃗⌉ : ?⃗ ⇒p⃗ ι⃗) : ι ⇒p ?
+    ⌈x⌉       = x
+    ⌈λx.N⌉    = (λx:?. ⌈N⌉) : ?→? ⇒p ?
+    ⌈L M⌉     = (⌈L⌉ : ? ⇒p ?→?) ⌈M⌉
+
+plus the analogous clauses for the documented extensions (conditionals cast
+the scrutinee to ``bool``; pairs inject at ``?×?``; ``fix`` recurses at
+``?→?``).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import TypeCheckError
+from ..core.labels import LabelSupply
+from ..core.ops import op_spec
+from ..core.terms import (
+    App,
+    Blame,
+    Cast,
+    Coerce,
+    Const,
+    Fix,
+    Fst,
+    If,
+    Lam,
+    Let,
+    Op,
+    Pair,
+    Snd,
+    Term,
+    Var,
+    free_vars,
+    fresh_name,
+)
+from ..core.types import BOOL, DYN, GROUND_FUN, GROUND_PROD, FunType
+
+
+def embed(term: Term, labels: LabelSupply | None = None) -> Term:
+    """Embed an untyped term into λB at type ``?``.
+
+    The input reuses the shared AST: ``Lam`` parameter types are ignored
+    (treated as ``?``), and ``Cast``/``Coerce`` nodes are rejected.
+    """
+    supply = labels or LabelSupply(prefix="d")
+
+    def go(t: Term) -> Term:
+        if isinstance(t, (Cast, Coerce, Blame)):
+            raise TypeCheckError(f"not a dynamically typed term: {t!r}")
+
+        if isinstance(t, Const):
+            return Cast(t, t.type, DYN, supply.fresh("const"))
+
+        if isinstance(t, Var):
+            return t
+
+        if isinstance(t, Op):
+            spec = op_spec(t.op)
+            if len(t.args) != spec.arity:
+                raise TypeCheckError(
+                    f"operator {t.op!r} expects {spec.arity} arguments, got {len(t.args)}"
+                )
+            cast_args = tuple(
+                Cast(go(arg), DYN, expected, supply.fresh(f"{t.op}-arg"))
+                for arg, expected in zip(t.args, spec.arg_types)
+            )
+            return Cast(Op(t.op, cast_args), spec.result_type, DYN, supply.fresh(f"{t.op}-res"))
+
+        if isinstance(t, Lam):
+            body = go(t.body)
+            return Cast(Lam(t.param, DYN, body), GROUND_FUN, DYN, supply.fresh("lam"))
+
+        if isinstance(t, App):
+            fun = Cast(go(t.fun), DYN, GROUND_FUN, supply.fresh("app"))
+            return App(fun, go(t.arg))
+
+        if isinstance(t, If):
+            cond = Cast(go(t.cond), DYN, BOOL, supply.fresh("if"))
+            return If(cond, go(t.then_branch), go(t.else_branch))
+
+        if isinstance(t, Let):
+            return Let(t.name, go(t.bound), go(t.body))
+
+        if isinstance(t, Fix):
+            # The dynamic fixpoint recurses at type ?→?:
+            #   ⌈fix M⌉ = (fix (λf:?→?. (⌈M⌉ : ? ⇒ ?→?) (f : ?→? ⇒ ?) : ? ⇒ ?→?)) : ?→? ⇒ ?
+            functional = go(t.fun)
+            f = fresh_name("f", free_vars(functional))
+            call = App(
+                Cast(functional, DYN, FunType(DYN, GROUND_FUN), supply.fresh("fix-fun")),
+                Cast(Var(f), GROUND_FUN, DYN, supply.fresh("fix-arg")),
+            )
+            wrapper = Lam(f, GROUND_FUN, call)
+            return Cast(Fix(wrapper, GROUND_FUN), GROUND_FUN, DYN, supply.fresh("fix"))
+
+        if isinstance(t, Pair):
+            return Cast(Pair(go(t.left), go(t.right)), GROUND_PROD, DYN, supply.fresh("pair"))
+
+        if isinstance(t, Fst):
+            return Fst(Cast(go(t.arg), DYN, GROUND_PROD, supply.fresh("fst")))
+
+        if isinstance(t, Snd):
+            return Snd(Cast(go(t.arg), DYN, GROUND_PROD, supply.fresh("snd")))
+
+        raise TypeCheckError(f"unknown dynamic term node: {t!r}")
+
+    return go(term)

@@ -1,0 +1,345 @@
+"""Small-step reduction for the blame calculus λB (Figure 1).
+
+The reduction rules, with ``V`` ranging over values::
+
+    op(V⃗)                                   →  [[op]](V⃗)
+    (λx:A.N) V                              →  N[x := V]
+    V : ι ⇒p ι                              →  V
+    (V : A→B ⇒p A'→B') W                    →  (V (W : A' ⇒p̄ A)) : B ⇒p B'
+    V : ? ⇒p ?                              →  V
+    V : A ⇒p ?                              →  V : A ⇒p G ⇒p ?      (A ≠ ?, A ≠ G, A ~ G)
+    V : ? ⇒p A                              →  V : ? ⇒p G ⇒p A      (A ≠ ?, A ≠ G, A ~ G)
+    V : G ⇒p ? ⇒q G                         →  V
+    V : G ⇒p ? ⇒q H                         →  blame q              (G ≠ H)
+    E[blame p]                              →  blame p              (E ≠ □)
+
+plus the standard rules for the documented extensions (``if``, ``let``,
+``fix``, pairs, and lazy product-cast projections).
+
+``blame`` collapses its *entire* evaluation context in a single step, exactly
+as in the paper; this matters for the lockstep bisimulation with λC
+(Proposition 11), which the test suite checks step by step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.errors import EvaluationError, StuckError
+from ..core.labels import Label
+from ..core.ops import op_spec
+from ..core.terms import (
+    App,
+    Blame,
+    Cast,
+    Const,
+    Fix,
+    Fst,
+    If,
+    Lam,
+    Let,
+    Op,
+    Pair,
+    Snd,
+    Term,
+    Var,
+    free_vars,
+    fresh_name,
+    subst,
+)
+from ..core.types import DynType, FunType, ProdType, is_ground, ground_of
+from .syntax import is_value
+
+
+# ---------------------------------------------------------------------------
+# Evaluation contexts: locating blame and the active child
+# ---------------------------------------------------------------------------
+
+
+def _active_child(term: Term) -> Term | None:
+    """The unique eval-position child of ``term`` that is not yet a value.
+
+    Returns ``None`` when every eval-position child is a value (so ``term``
+    itself is the next redex candidate) or when ``term`` has no eval
+    positions.
+    """
+    if isinstance(term, Op):
+        for arg in term.args:
+            if not is_value(arg):
+                return arg
+        return None
+    if isinstance(term, App):
+        if not is_value(term.fun):
+            return term.fun
+        if not is_value(term.arg):
+            return term.arg
+        return None
+    if isinstance(term, Cast):
+        return None if is_value(term.subject) else term.subject
+    if isinstance(term, If):
+        return None if is_value(term.cond) else term.cond
+    if isinstance(term, Let):
+        return None if is_value(term.bound) else term.bound
+    if isinstance(term, Fix):
+        return None if is_value(term.fun) else term.fun
+    if isinstance(term, Pair):
+        if not is_value(term.left):
+            return term.left
+        if not is_value(term.right):
+            return term.right
+        return None
+    if isinstance(term, (Fst, Snd)):
+        return None if is_value(term.arg) else term.arg
+    return None
+
+
+def blame_in_evaluation_position(term: Term) -> Label | None:
+    """If ``term`` decomposes as ``E[blame p]`` with ``E ≠ □``, return ``p``."""
+    current = term
+    while True:
+        child = _active_child(current)
+        if child is None:
+            return None
+        if isinstance(child, Blame):
+            return child.label
+        current = child
+
+
+# ---------------------------------------------------------------------------
+# Top-level reduction rules
+# ---------------------------------------------------------------------------
+
+
+def _reduce_cast(term: Cast) -> Term:
+    """Reduce a cast whose subject is a value, per Figure 1."""
+    value, source, target, p = term.subject, term.source, term.target, term.label
+
+    # V : ι ⇒p ι  →  V   and   V : ? ⇒p ?  →  V
+    if source == target and (not isinstance(source, (FunType, ProdType))):
+        return value
+
+    # Factor a cast into ? through the ground type of the source.
+    if isinstance(target, DynType) and not isinstance(source, DynType) and not is_ground(source):
+        ground = ground_of(source)
+        return Cast(Cast(value, source, ground, p), ground, target, p)
+
+    # Factor a cast out of ? through the ground type of the target.
+    if isinstance(source, DynType) and not isinstance(target, DynType) and not is_ground(target):
+        ground = ground_of(target)
+        return Cast(Cast(value, source, ground, p), ground, target, p)
+
+    # Collapse or fail a projection:  V : G ⇒p ? ⇒q H.
+    if isinstance(source, DynType) and is_ground(target):
+        if isinstance(value, Cast) and isinstance(value.target, DynType) and is_ground(value.source):
+            if value.source == target:
+                return value.subject
+            return Blame(p)
+        raise StuckError(f"projection applied to a non-injected value: {term}")
+
+    raise StuckError(f"no cast rule applies to {term}")
+
+
+def _reduce_redex(term: Term) -> Term:
+    """Apply the top-level rule to a term whose eval-position children are values."""
+    if isinstance(term, Op):
+        spec = op_spec(term.op)
+        operands = []
+        for arg in term.args:
+            if not isinstance(arg, Const):
+                raise StuckError(f"operator {term.op!r} applied to a non-constant: {arg}")
+            operands.append(arg.value)
+        result = spec.apply(operands)
+        return Const(result, spec.result_type)
+
+    if isinstance(term, App):
+        fun, arg = term.fun, term.arg
+        if isinstance(fun, Lam):
+            return subst(fun.body, fun.param, arg)
+        if (
+            isinstance(fun, Cast)
+            and isinstance(fun.source, FunType)
+            and isinstance(fun.target, FunType)
+        ):
+            inner_arg = Cast(arg, fun.target.dom, fun.source.dom, fun.label.complement())
+            return Cast(App(fun.subject, inner_arg), fun.source.cod, fun.target.cod, fun.label)
+        raise StuckError(f"application of a non-function value: {term}")
+
+    if isinstance(term, Cast):
+        return _reduce_cast(term)
+
+    if isinstance(term, If):
+        if isinstance(term.cond, Const) and isinstance(term.cond.value, bool):
+            return term.then_branch if term.cond.value else term.else_branch
+        raise StuckError(f"if-condition is not a boolean constant: {term.cond}")
+
+    if isinstance(term, Let):
+        return subst(term.body, term.name, term.bound)
+
+    if isinstance(term, Fix):
+        fun_type = term.fun_type
+        avoid = free_vars(term.fun)
+        param = fresh_name("x", avoid)
+        unrolled = Lam(param, fun_type.dom, App(Fix(term.fun, fun_type), Var(param)))
+        return App(term.fun, unrolled)
+
+    if isinstance(term, Fst):
+        target = term.arg
+        if isinstance(target, Pair):
+            return target.left
+        if (
+            isinstance(target, Cast)
+            and isinstance(target.source, ProdType)
+            and isinstance(target.target, ProdType)
+        ):
+            return Cast(Fst(target.subject), target.source.left, target.target.left, target.label)
+        raise StuckError(f"fst of a non-pair value: {term}")
+
+    if isinstance(term, Snd):
+        target = term.arg
+        if isinstance(target, Pair):
+            return target.right
+        if (
+            isinstance(target, Cast)
+            and isinstance(target.source, ProdType)
+            and isinstance(target.target, ProdType)
+        ):
+            return Cast(Snd(target.subject), target.source.right, target.target.right, target.label)
+        raise StuckError(f"snd of a non-pair value: {term}")
+
+    if isinstance(term, Var):
+        raise StuckError(f"free variable during evaluation: {term.name}")
+
+    raise StuckError(f"no reduction rule applies to {term}")
+
+
+def _step_inner(term: Term) -> Term:
+    """One reduction step for a term known to contain no blame in eval position."""
+    if isinstance(term, Op):
+        for index, arg in enumerate(term.args):
+            if not is_value(arg):
+                new_args = list(term.args)
+                new_args[index] = _step_inner(arg)
+                return Op(term.op, tuple(new_args))
+        return _reduce_redex(term)
+    if isinstance(term, App):
+        if not is_value(term.fun):
+            return App(_step_inner(term.fun), term.arg)
+        if not is_value(term.arg):
+            return App(term.fun, _step_inner(term.arg))
+        return _reduce_redex(term)
+    if isinstance(term, Cast):
+        if not is_value(term.subject):
+            return Cast(_step_inner(term.subject), term.source, term.target, term.label)
+        return _reduce_redex(term)
+    if isinstance(term, If):
+        if not is_value(term.cond):
+            return If(_step_inner(term.cond), term.then_branch, term.else_branch)
+        return _reduce_redex(term)
+    if isinstance(term, Let):
+        if not is_value(term.bound):
+            return Let(term.name, _step_inner(term.bound), term.body)
+        return _reduce_redex(term)
+    if isinstance(term, Fix):
+        if not is_value(term.fun):
+            return Fix(_step_inner(term.fun), term.fun_type)
+        return _reduce_redex(term)
+    if isinstance(term, Pair):
+        if not is_value(term.left):
+            return Pair(_step_inner(term.left), term.right)
+        if not is_value(term.right):
+            return Pair(term.left, _step_inner(term.right))
+        raise StuckError("a pair of values is a value; no step")
+    if isinstance(term, Fst):
+        if not is_value(term.arg):
+            return Fst(_step_inner(term.arg))
+        return _reduce_redex(term)
+    if isinstance(term, Snd):
+        if not is_value(term.arg):
+            return Snd(_step_inner(term.arg))
+        return _reduce_redex(term)
+    return _reduce_redex(term)
+
+
+def step(term: Term) -> Term | None:
+    """Perform one λB reduction step.
+
+    Returns ``None`` when ``term`` is a value or ``blame p`` (no step), the
+    reduct otherwise.  Raises :class:`StuckError` for ill-typed terms that
+    are neither (type safety, Proposition 3, guarantees this never happens
+    for well-typed closed terms).
+    """
+    if is_value(term) or isinstance(term, Blame):
+        return None
+    label = blame_in_evaluation_position(term)
+    if label is not None:
+        return Blame(label)
+    return _step_inner(term)
+
+
+# ---------------------------------------------------------------------------
+# Multi-step evaluation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """The observable outcome of evaluating a term (Definition 6).
+
+    ``kind`` is ``"value"``, ``"blame"``, or ``"timeout"`` (standing in for
+    divergence under a finite step budget).
+    """
+
+    kind: str
+    term: Term | None = None
+    label: Label | None = None
+    steps: int = 0
+
+    @property
+    def is_value(self) -> bool:
+        return self.kind == "value"
+
+    @property
+    def is_blame(self) -> bool:
+        return self.kind == "blame"
+
+    @property
+    def is_timeout(self) -> bool:
+        return self.kind == "timeout"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == "value":
+            return f"value {self.term} ({self.steps} steps)"
+        if self.kind == "blame":
+            return f"blame {self.label} ({self.steps} steps)"
+        return f"timeout after {self.steps} steps"
+
+
+DEFAULT_FUEL = 100_000
+
+
+def trace(term: Term, fuel: int = DEFAULT_FUEL) -> Iterator[Term]:
+    """Yield the reduction sequence ``term → … `` (including the start term)."""
+    current = term
+    yield current
+    for _ in range(fuel):
+        nxt = step(current)
+        if nxt is None:
+            return
+        current = nxt
+        yield current
+
+
+def run(term: Term, fuel: int = DEFAULT_FUEL) -> Outcome:
+    """Evaluate ``term`` for at most ``fuel`` steps and report the outcome."""
+    current = term
+    for steps in range(fuel + 1):
+        if isinstance(current, Blame):
+            return Outcome("blame", label=current.label, steps=steps)
+        if is_value(current):
+            return Outcome("value", term=current, steps=steps)
+        nxt = step(current)
+        if nxt is None:  # pragma: no cover - unreachable for well-typed terms
+            raise EvaluationError(f"term neither value nor blame yet has no step: {current}")
+        current = nxt
+    return Outcome("timeout", term=current, steps=fuel)

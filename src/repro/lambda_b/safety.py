@@ -1,0 +1,56 @@
+"""Blame safety for λB (Figure 2, Proposition 5).
+
+A cast ``(A ⇒p B)`` is *safe for* a blame label ``q`` when evaluating the
+cast can never allocate blame to ``q``.  A term is safe for ``q`` when every
+cast it contains is safe for ``q`` (and, so that safety is preserved by
+reduction, when it does not already contain ``blame q``).
+
+Proposition 5: if ``M safe q`` then ``M`` never reduces to ``blame q`` —
+"well-typed programs can't be blamed".  The checkers in
+:mod:`repro.properties.blame_safety` exercise this on generated programs.
+"""
+
+from __future__ import annotations
+
+from ..core.labels import Label
+from ..core.subtyping import cast_safe_for, subtype_neg, subtype_pos
+from ..core.terms import Blame, Cast, Term, subterms
+
+
+def cast_is_safe(cast: Cast, q: Label) -> bool:
+    """The judgement ``(A ⇒p B) safe q`` for a λB cast node."""
+    return cast_safe_for(cast.source, cast.label, cast.target, q)
+
+
+def term_safe_for(term: Term, q: Label) -> bool:
+    """Is every cast (and blame node) in ``term`` safe for ``q``?"""
+    for sub in subterms(term):
+        if isinstance(sub, Cast) and not cast_is_safe(sub, q):
+            return False
+        if isinstance(sub, Blame) and sub.label == q:
+            return False
+    return True
+
+
+def unsafe_labels(term: Term) -> set[Label]:
+    """The set of labels the term is *not* statically safe for.
+
+    These are the only labels that evaluation could possibly blame; the
+    complement of this set is guaranteed blameless by Proposition 5.
+    """
+    result: set[Label] = set()
+    for sub in subterms(term):
+        if isinstance(sub, Blame):
+            result.add(sub.label)
+        if isinstance(sub, Cast):
+            p = sub.label
+            if not subtype_pos(sub.source, sub.target):
+                result.add(p)
+            if not subtype_neg(sub.source, sub.target):
+                result.add(p.complement())
+    return result
+
+
+def safe_labels_among(term: Term, labels) -> set[Label]:
+    """Which of the given labels the term is safe for."""
+    return {q for q in labels if term_safe_for(term, q)}

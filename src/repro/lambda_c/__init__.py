@@ -1,0 +1,56 @@
+"""λC — the coercion calculus of Figure 3 (Henglein's coercions with blame)."""
+
+from .coercions import (
+    Coercion,
+    Fail,
+    FunCoercion,
+    Identity,
+    Inject,
+    ProdCoercion,
+    Project,
+    Sequence,
+    check_coercion,
+    coercion_safe_for,
+    coercion_source,
+    coercion_target,
+    height,
+    identity,
+    labels_of,
+    sequence,
+    size,
+)
+from .reduction import run, step, trace
+from .safety import mentioned_labels, term_safe_for
+from .syntax import coercions_in, is_lambda_c_term, is_value
+from .typecheck import check, type_of, well_typed
+
+__all__ = [
+    "Coercion",
+    "Fail",
+    "FunCoercion",
+    "Identity",
+    "Inject",
+    "ProdCoercion",
+    "Project",
+    "Sequence",
+    "check_coercion",
+    "coercion_safe_for",
+    "coercion_source",
+    "coercion_target",
+    "height",
+    "identity",
+    "labels_of",
+    "sequence",
+    "size",
+    "run",
+    "step",
+    "trace",
+    "mentioned_labels",
+    "term_safe_for",
+    "coercions_in",
+    "is_lambda_c_term",
+    "is_value",
+    "check",
+    "type_of",
+    "well_typed",
+]

@@ -1,0 +1,282 @@
+"""Small-step reduction for the coercion calculus λC (Figure 3).
+
+The rules, with ``V`` ranging over values::
+
+    V⟨id_A⟩            →  V
+    (V⟨c → d⟩) W       →  (V (W⟨c⟩))⟨d⟩
+    V⟨G!⟩⟨G?p⟩         →  V
+    V⟨G!⟩⟨H?p⟩         →  blame p            (G ≠ H)
+    V⟨c ; d⟩           →  V⟨c⟩⟨d⟩
+    V⟨⊥GpH⟩            →  blame p
+    E[blame p]         →  blame p            (E ≠ □)
+
+plus the standard rules and the product extension (``fst``/``snd`` push the
+component coercion through a product-coercion proxy).
+
+The congruence structure (evaluation contexts) is *identical* to λB's, which
+is what makes the translation ``|·|BC`` a lockstep bisimulation
+(Proposition 11) — one step here corresponds to exactly one step there.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.errors import EvaluationError, StuckError
+from ..core.labels import Label
+from ..core.ops import op_spec
+from ..core.terms import (
+    App,
+    Blame,
+    Coerce,
+    Const,
+    Fix,
+    Fst,
+    If,
+    Lam,
+    Let,
+    Op,
+    Pair,
+    Snd,
+    Term,
+    Var,
+    free_vars,
+    fresh_name,
+    subst,
+)
+from ..lambda_b.reduction import DEFAULT_FUEL, Outcome
+from .coercions import (
+    Fail,
+    FunCoercion,
+    Identity,
+    Inject,
+    ProdCoercion,
+    Project,
+    Sequence,
+)
+from .syntax import is_value
+
+
+# ---------------------------------------------------------------------------
+# Evaluation contexts
+# ---------------------------------------------------------------------------
+
+
+def _active_child(term: Term) -> Term | None:
+    """The eval-position child of ``term`` that is not yet a value (if any)."""
+    if isinstance(term, Op):
+        for arg in term.args:
+            if not is_value(arg):
+                return arg
+        return None
+    if isinstance(term, App):
+        if not is_value(term.fun):
+            return term.fun
+        if not is_value(term.arg):
+            return term.arg
+        return None
+    if isinstance(term, Coerce):
+        return None if is_value(term.subject) else term.subject
+    if isinstance(term, If):
+        return None if is_value(term.cond) else term.cond
+    if isinstance(term, Let):
+        return None if is_value(term.bound) else term.bound
+    if isinstance(term, Fix):
+        return None if is_value(term.fun) else term.fun
+    if isinstance(term, Pair):
+        if not is_value(term.left):
+            return term.left
+        if not is_value(term.right):
+            return term.right
+        return None
+    if isinstance(term, (Fst, Snd)):
+        return None if is_value(term.arg) else term.arg
+    return None
+
+
+def blame_in_evaluation_position(term: Term) -> Label | None:
+    """If ``term`` decomposes as ``E[blame p]`` with ``E ≠ □``, return ``p``."""
+    current = term
+    while True:
+        child = _active_child(current)
+        if child is None:
+            return None
+        if isinstance(child, Blame):
+            return child.label
+        current = child
+
+
+# ---------------------------------------------------------------------------
+# Top-level reduction rules
+# ---------------------------------------------------------------------------
+
+
+def _reduce_coerce(term: Coerce) -> Term:
+    """Reduce a coercion application whose subject is a value."""
+    value, coercion = term.subject, term.coercion
+
+    if isinstance(coercion, Identity):
+        return value
+
+    if isinstance(coercion, Sequence):
+        return Coerce(Coerce(value, coercion.first), coercion.second)
+
+    if isinstance(coercion, Fail):
+        return Blame(coercion.label)
+
+    if isinstance(coercion, Project):
+        if isinstance(value, Coerce) and isinstance(value.coercion, Inject):
+            if value.coercion.ground == coercion.ground:
+                return value.subject
+            return Blame(coercion.label)
+        raise StuckError(f"projection applied to a non-injected value: {term}")
+
+    # Function, product, and injection coercions over values are themselves
+    # values and never reach this point.
+    raise StuckError(f"no coercion rule applies to {term}")
+
+
+def _reduce_redex(term: Term) -> Term:
+    if isinstance(term, Op):
+        spec = op_spec(term.op)
+        operands = []
+        for arg in term.args:
+            if not isinstance(arg, Const):
+                raise StuckError(f"operator {term.op!r} applied to a non-constant: {arg}")
+            operands.append(arg.value)
+        return Const(spec.apply(operands), spec.result_type)
+
+    if isinstance(term, App):
+        fun, arg = term.fun, term.arg
+        if isinstance(fun, Lam):
+            return subst(fun.body, fun.param, arg)
+        if isinstance(fun, Coerce) and isinstance(fun.coercion, FunCoercion):
+            coercion = fun.coercion
+            return Coerce(App(fun.subject, Coerce(arg, coercion.dom)), coercion.cod)
+        raise StuckError(f"application of a non-function value: {term}")
+
+    if isinstance(term, Coerce):
+        return _reduce_coerce(term)
+
+    if isinstance(term, If):
+        if isinstance(term.cond, Const) and isinstance(term.cond.value, bool):
+            return term.then_branch if term.cond.value else term.else_branch
+        raise StuckError(f"if-condition is not a boolean constant: {term.cond}")
+
+    if isinstance(term, Let):
+        return subst(term.body, term.name, term.bound)
+
+    if isinstance(term, Fix):
+        fun_type = term.fun_type
+        param = fresh_name("x", free_vars(term.fun))
+        unrolled = Lam(param, fun_type.dom, App(Fix(term.fun, fun_type), Var(param)))
+        return App(term.fun, unrolled)
+
+    if isinstance(term, Fst):
+        target = term.arg
+        if isinstance(target, Pair):
+            return target.left
+        if isinstance(target, Coerce) and isinstance(target.coercion, ProdCoercion):
+            return Coerce(Fst(target.subject), target.coercion.left)
+        raise StuckError(f"fst of a non-pair value: {term}")
+
+    if isinstance(term, Snd):
+        target = term.arg
+        if isinstance(target, Pair):
+            return target.right
+        if isinstance(target, Coerce) and isinstance(target.coercion, ProdCoercion):
+            return Coerce(Snd(target.subject), target.coercion.right)
+        raise StuckError(f"snd of a non-pair value: {term}")
+
+    if isinstance(term, Var):
+        raise StuckError(f"free variable during evaluation: {term.name}")
+
+    raise StuckError(f"no reduction rule applies to {term}")
+
+
+def _step_inner(term: Term) -> Term:
+    if isinstance(term, Op):
+        for index, arg in enumerate(term.args):
+            if not is_value(arg):
+                new_args = list(term.args)
+                new_args[index] = _step_inner(arg)
+                return Op(term.op, tuple(new_args))
+        return _reduce_redex(term)
+    if isinstance(term, App):
+        if not is_value(term.fun):
+            return App(_step_inner(term.fun), term.arg)
+        if not is_value(term.arg):
+            return App(term.fun, _step_inner(term.arg))
+        return _reduce_redex(term)
+    if isinstance(term, Coerce):
+        if not is_value(term.subject):
+            return Coerce(_step_inner(term.subject), term.coercion)
+        return _reduce_redex(term)
+    if isinstance(term, If):
+        if not is_value(term.cond):
+            return If(_step_inner(term.cond), term.then_branch, term.else_branch)
+        return _reduce_redex(term)
+    if isinstance(term, Let):
+        if not is_value(term.bound):
+            return Let(term.name, _step_inner(term.bound), term.body)
+        return _reduce_redex(term)
+    if isinstance(term, Fix):
+        if not is_value(term.fun):
+            return Fix(_step_inner(term.fun), term.fun_type)
+        return _reduce_redex(term)
+    if isinstance(term, Pair):
+        if not is_value(term.left):
+            return Pair(_step_inner(term.left), term.right)
+        if not is_value(term.right):
+            return Pair(term.left, _step_inner(term.right))
+        raise StuckError("a pair of values is a value; no step")
+    if isinstance(term, Fst):
+        if not is_value(term.arg):
+            return Fst(_step_inner(term.arg))
+        return _reduce_redex(term)
+    if isinstance(term, Snd):
+        if not is_value(term.arg):
+            return Snd(_step_inner(term.arg))
+        return _reduce_redex(term)
+    return _reduce_redex(term)
+
+
+def step(term: Term) -> Term | None:
+    """Perform one λC reduction step (``None`` when ``term`` is a value or blame)."""
+    if is_value(term) or isinstance(term, Blame):
+        return None
+    label = blame_in_evaluation_position(term)
+    if label is not None:
+        return Blame(label)
+    return _step_inner(term)
+
+
+# ---------------------------------------------------------------------------
+# Multi-step evaluation
+# ---------------------------------------------------------------------------
+
+
+def trace(term: Term, fuel: int = DEFAULT_FUEL) -> Iterator[Term]:
+    current = term
+    yield current
+    for _ in range(fuel):
+        nxt = step(current)
+        if nxt is None:
+            return
+        current = nxt
+        yield current
+
+
+def run(term: Term, fuel: int = DEFAULT_FUEL) -> Outcome:
+    """Evaluate a λC term for at most ``fuel`` steps and report the outcome."""
+    current = term
+    for steps in range(fuel + 1):
+        if isinstance(current, Blame):
+            return Outcome("blame", label=current.label, steps=steps)
+        if is_value(current):
+            return Outcome("value", term=current, steps=steps)
+        nxt = step(current)
+        if nxt is None:  # pragma: no cover - unreachable for well-typed terms
+            raise EvaluationError(f"term neither value nor blame yet has no step: {current}")
+        current = nxt
+    return Outcome("timeout", term=current, steps=fuel)

@@ -1,0 +1,37 @@
+"""Blame safety for λC (Figure 3, Proposition 5).
+
+The definition is "pleasingly simple": a coercion is safe for ``q`` if it
+does not mention label ``q``; a term is safe for ``q`` when every coercion in
+it is, and it does not already contain ``blame q``.
+"""
+
+from __future__ import annotations
+
+from ..core.labels import Label
+from ..core.terms import Blame, Coerce, Term, subterms
+from .coercions import coercion_safe_for, labels_of
+
+
+def term_safe_for(term: Term, q: Label) -> bool:
+    """The judgement ``M safe q`` for λC terms."""
+    for sub in subterms(term):
+        if isinstance(sub, Coerce) and not coercion_safe_for(sub.coercion, q):
+            return False
+        if isinstance(sub, Blame) and sub.label == q:
+            return False
+    return True
+
+
+def mentioned_labels(term: Term) -> set[Label]:
+    """All blame labels mentioned by coercions or blame nodes in a term."""
+    result: set[Label] = set()
+    for sub in subterms(term):
+        if isinstance(sub, Coerce):
+            result |= labels_of(sub.coercion)
+        elif isinstance(sub, Blame):
+            result.add(sub.label)
+    return result
+
+
+def safe_labels_among(term: Term, labels) -> set[Label]:
+    return {q for q in labels if term_safe_for(term, q)}

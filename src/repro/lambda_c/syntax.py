@@ -1,0 +1,58 @@
+"""Syntax of the coercion calculus λC (Figure 3): values and well-formedness.
+
+λC terms are the shared terms plus coercion applications ``M⟨c⟩`` where ``c``
+is a λC coercion; casts are *not* λC terms.  Values are::
+
+    V, W ::= k | λx:A.N | V⟨c → d⟩ | V⟨G!⟩ | V⟨c × d⟩ | (V, W)
+"""
+
+from __future__ import annotations
+
+from ..core.terms import (
+    Blame,
+    Cast,
+    Coerce,
+    Const,
+    Lam,
+    Pair,
+    Term,
+    subterms,
+)
+from .coercions import Coercion, FunCoercion, Inject, ProdCoercion
+
+
+def is_lambda_c_term(term: Term) -> bool:
+    """Does ``term`` use only λC constructors (no casts, only λC coercions)?"""
+    for sub in subterms(term):
+        if isinstance(sub, Cast):
+            return False
+        if isinstance(sub, Coerce) and not isinstance(sub.coercion, Coercion):
+            return False
+    return True
+
+
+def is_value(term: Term) -> bool:
+    """Is ``term`` a λC value?"""
+    if isinstance(term, (Const, Lam)):
+        return True
+    if isinstance(term, Pair):
+        return is_value(term.left) and is_value(term.right)
+    if isinstance(term, Coerce):
+        if not is_value(term.subject):
+            return False
+        return isinstance(term.coercion, (FunCoercion, ProdCoercion, Inject))
+    return False
+
+
+def is_uncoerced_value(term: Term) -> bool:
+    """A value with no top-level coercion."""
+    return is_value(term) and not isinstance(term, Coerce)
+
+
+def coercions_in(term: Term) -> list[Coercion]:
+    """All coercions applied anywhere in a term."""
+    return [t.coercion for t in subterms(term) if isinstance(t, Coerce)]
+
+
+def blames_in(term: Term) -> list[Blame]:
+    return [t for t in subterms(term) if isinstance(t, Blame)]

@@ -1,0 +1,156 @@
+"""Type checking for the coercion calculus λC (Figure 3).
+
+The only non-standard rule is coercion application::
+
+    Γ ⊢ M : A      c : A ⇒ B
+    -------------------------
+    Γ ⊢ M⟨c⟩ : B
+
+Everything else is shared with λB and delegated to the same helpers.
+"""
+
+from __future__ import annotations
+
+from ..core.env import EMPTY_ENV, TypeEnv
+from ..core.errors import CoercionTypeError, TypeCheckError
+from ..core.ops import op_spec
+from ..core.terms import (
+    App,
+    Blame,
+    Cast,
+    Coerce,
+    Const,
+    Fix,
+    Fst,
+    If,
+    Lam,
+    Let,
+    Op,
+    Pair,
+    Snd,
+    Term,
+    Var,
+)
+from ..core.types import (
+    BOOL,
+    UNKNOWN,
+    FunType,
+    ProdType,
+    Type,
+    UnknownType,
+    types_equal,
+)
+from .coercions import Coercion, check_coercion
+
+
+def type_of(term: Term, env: TypeEnv = EMPTY_ENV) -> Type:
+    """Synthesise the type of a λC term, raising :class:`TypeCheckError` on failure."""
+    if isinstance(term, Const):
+        return term.type
+
+    if isinstance(term, Var):
+        return env.lookup(term.name)
+
+    if isinstance(term, Op):
+        spec = op_spec(term.op)
+        if len(term.args) != spec.arity:
+            raise TypeCheckError(
+                f"operator {term.op!r} expects {spec.arity} arguments, got {len(term.args)}"
+            )
+        for arg, expected in zip(term.args, spec.arg_types):
+            actual = type_of(arg, env)
+            if not types_equal(actual, expected):
+                raise TypeCheckError(
+                    f"operator {term.op!r}: argument has type {actual}, expected {expected}"
+                )
+        return spec.result_type
+
+    if isinstance(term, Lam):
+        body_type = type_of(term.body, env.extend(term.param, term.param_type))
+        return FunType(term.param_type, body_type)
+
+    if isinstance(term, App):
+        fun_type = type_of(term.fun, env)
+        arg_type = type_of(term.arg, env)
+        if isinstance(fun_type, UnknownType):
+            return UNKNOWN
+        if not isinstance(fun_type, FunType):
+            raise TypeCheckError(f"application of a non-function of type {fun_type}")
+        if not types_equal(arg_type, fun_type.dom):
+            raise TypeCheckError(f"argument has type {arg_type}, expected {fun_type.dom}")
+        return fun_type.cod
+
+    if isinstance(term, Coerce):
+        if not isinstance(term.coercion, Coercion):
+            raise TypeCheckError(
+                f"λC coercion application carries a non-λC coercion: {term.coercion!r}"
+            )
+        subject_type = type_of(term.subject, env)
+        try:
+            return check_coercion(term.coercion, subject_type)
+        except CoercionTypeError as exc:
+            raise TypeCheckError(str(exc)) from exc
+
+    if isinstance(term, Cast):
+        raise TypeCheckError("casts are not λC terms; translate them with |·|BC first")
+
+    if isinstance(term, Blame):
+        return UNKNOWN
+
+    if isinstance(term, If):
+        cond_type = type_of(term.cond, env)
+        if not types_equal(cond_type, BOOL):
+            raise TypeCheckError(f"if-condition has type {cond_type}, expected bool")
+        then_type = type_of(term.then_branch, env)
+        else_type = type_of(term.else_branch, env)
+        if not types_equal(then_type, else_type):
+            raise TypeCheckError(
+                f"if-branches have different types: {then_type} vs {else_type}"
+            )
+        return else_type if isinstance(then_type, UnknownType) else then_type
+
+    if isinstance(term, Let):
+        bound_type = type_of(term.bound, env)
+        return type_of(term.body, env.extend(term.name, bound_type))
+
+    if isinstance(term, Fix):
+        fun_type = type_of(term.fun, env)
+        expected = FunType(term.fun_type, term.fun_type)
+        if not types_equal(fun_type, expected):
+            raise TypeCheckError(f"fix expects a functional of type {expected}, got {fun_type}")
+        return term.fun_type
+
+    if isinstance(term, Pair):
+        return ProdType(type_of(term.left, env), type_of(term.right, env))
+
+    if isinstance(term, Fst):
+        arg_type = type_of(term.arg, env)
+        if isinstance(arg_type, UnknownType):
+            return UNKNOWN
+        if not isinstance(arg_type, ProdType):
+            raise TypeCheckError(f"fst of a non-pair of type {arg_type}")
+        return arg_type.left
+
+    if isinstance(term, Snd):
+        arg_type = type_of(term.arg, env)
+        if isinstance(arg_type, UnknownType):
+            return UNKNOWN
+        if not isinstance(arg_type, ProdType):
+            raise TypeCheckError(f"snd of a non-pair of type {arg_type}")
+        return arg_type.right
+
+    raise TypeCheckError(f"not a λC term: {term!r}")
+
+
+def check(term: Term, expected: Type, env: TypeEnv = EMPTY_ENV) -> None:
+    actual = type_of(term, env)
+    if not types_equal(actual, expected):
+        raise TypeCheckError(f"term has type {actual}, expected {expected}")
+
+
+def well_typed(term: Term, env: TypeEnv = EMPTY_ENV) -> bool:
+    try:
+        type_of(term, env)
+        return True
+    except TypeCheckError:
+        return False

@@ -1,0 +1,31 @@
+"""Blame safety for λS (the λC definition, mutatis mutandis)."""
+
+from __future__ import annotations
+
+from ..core.labels import Label
+from ..core.terms import Blame, Coerce, Term, subterms
+from .coercions import coercion_safe_for, labels_of
+
+
+def term_safe_for(term: Term, q: Label) -> bool:
+    """``M safe q``: no coercion in ``M`` mentions ``q`` and ``M`` has no ``blame q``."""
+    for sub in subterms(term):
+        if isinstance(sub, Coerce) and not coercion_safe_for(sub.coercion, q):
+            return False
+        if isinstance(sub, Blame) and sub.label == q:
+            return False
+    return True
+
+
+def mentioned_labels(term: Term) -> set[Label]:
+    result: set[Label] = set()
+    for sub in subterms(term):
+        if isinstance(sub, Coerce):
+            result |= labels_of(sub.coercion)
+        elif isinstance(sub, Blame):
+            result.add(sub.label)
+    return result
+
+
+def safe_labels_among(term: Term, labels) -> set[Label]:
+    return {q for q in labels if term_safe_for(term, q)}

@@ -1,0 +1,77 @@
+"""Syntax of the space-efficient calculus λS (Figure 5): values and well-formedness.
+
+λS terms are the shared terms plus coercion applications ``M⟨s⟩`` where ``s``
+is a *canonical* (space-efficient) coercion.  Values carry at most one
+top-level coercion::
+
+    U     ::= k | λx:A.N | (V, W)                      uncoerced values
+    V, W  ::= U | U⟨s → t⟩ | U⟨s × t⟩ | U⟨g ; G!⟩       values
+"""
+
+from __future__ import annotations
+
+from ..core.terms import (
+    Blame,
+    Cast,
+    Coerce,
+    Const,
+    Lam,
+    Pair,
+    Term,
+    subterms,
+)
+from .coercions import FunCo, Injection, ProdCo, SpaceCoercion
+
+
+def is_lambda_s_term(term: Term) -> bool:
+    """Does ``term`` use only λS constructors (canonical coercions, no casts)?"""
+    for sub in subterms(term):
+        if isinstance(sub, Cast):
+            return False
+        if isinstance(sub, Coerce) and not isinstance(sub.coercion, SpaceCoercion):
+            return False
+    return True
+
+
+def is_uncoerced_value(term: Term) -> bool:
+    """Is ``term`` an uncoerced value ``U``?"""
+    if isinstance(term, (Const, Lam)):
+        return True
+    if isinstance(term, Pair):
+        return is_value(term.left) and is_value(term.right)
+    return False
+
+
+def is_value(term: Term) -> bool:
+    """Is ``term`` a λS value (at most one top-level coercion)?"""
+    if is_uncoerced_value(term):
+        return True
+    if isinstance(term, Coerce):
+        if not is_uncoerced_value(term.subject):
+            return False
+        return isinstance(term.coercion, (FunCo, ProdCo, Injection))
+    return False
+
+
+def coercions_in(term: Term) -> list[SpaceCoercion]:
+    return [t.coercion for t in subterms(term) if isinstance(t, Coerce)]
+
+
+def blames_in(term: Term) -> list[Blame]:
+    return [t for t in subterms(term) if isinstance(t, Blame)]
+
+
+def pending_coercion_size(term: Term) -> int:
+    """Total size of all coercions applied anywhere in a term.
+
+    This is the space-accounting metric the benchmarks track along reduction
+    traces: λS keeps it bounded by a constant (per program), λB/λC let it grow
+    linearly with the number of boundary-crossing tail calls.
+    """
+    from .coercions import size as coercion_size
+
+    total = 0
+    for t in subterms(term):
+        if isinstance(t, Coerce) and isinstance(t.coercion, SpaceCoercion):
+            total += coercion_size(t.coercion)
+    return total

@@ -1,0 +1,264 @@
+"""Mediation policies: how each calculus's machine applies casts/coercions to values.
+
+The three CEK machines share one driver (:mod:`repro.machine.cek`); the only
+difference between them is how the mediators written in the program (casts in
+λB, coercions in λC, canonical coercions in λS) act on run-time values, and —
+crucially for space — whether two pending mediators on the continuation may
+be merged into one.  Only the λS policy merges, using the composition
+operator ``#``; that single difference is what turns the linear space growth
+of the λB/λC machines into the constant pending-mediator footprint of the λS
+machine (the benchmark ``benchmarks/bench_space.py`` measures exactly this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import EvaluationError
+from ..core.labels import Label
+from ..core.terms import Cast, Coerce, Term
+from ..core.types import (
+    DynType,
+    FunType,
+    ProdType,
+    Type,
+    ground_of,
+    is_ground,
+    type_size,
+)
+from ..lambda_c import coercions as co_c
+from ..lambda_s import coercions as co_s
+from .values import MachineValue, MProxy
+
+
+class MachineBlame(Exception):
+    """Internal signal: applying a mediator allocated blame."""
+
+    def __init__(self, label: Label):
+        super().__init__(str(label))
+        self.label = label
+
+
+class MediationPolicy:
+    """Interface implemented by the per-calculus policies."""
+
+    name: str = "?"
+    merges_pending_mediators: bool = False
+
+    def term_mediator(self, term: Term) -> object:
+        raise NotImplementedError
+
+    def is_mediation_node(self, term: Term) -> bool:
+        raise NotImplementedError
+
+    def apply(self, value: MachineValue, mediator: object) -> MachineValue:
+        raise NotImplementedError
+
+    def is_fun_proxy(self, mediator: object) -> bool:
+        raise NotImplementedError
+
+    def is_prod_proxy(self, mediator: object) -> bool:
+        raise NotImplementedError
+
+    def fun_parts(self, mediator: object) -> tuple[object, object]:
+        raise NotImplementedError
+
+    def prod_parts(self, mediator: object) -> tuple[object, object]:
+        raise NotImplementedError
+
+    def compose(self, first: object, second: object) -> object:
+        raise NotImplementedError("this machine does not merge pending mediators")
+
+    def size(self, mediator: object) -> int:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# λB: casts as mediators
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CastMediator:
+    """A λB cast ``A ⇒p B`` detached from its subject."""
+
+    source: Type
+    target: Type
+    label: Label
+
+
+class BlamePolicy(MediationPolicy):
+    """The λB machine's mediation policy (casts, no merging)."""
+
+    name = "B"
+    merges_pending_mediators = False
+
+    def is_mediation_node(self, term: Term) -> bool:
+        return isinstance(term, Cast)
+
+    def term_mediator(self, term: Term) -> CastMediator:
+        assert isinstance(term, Cast)
+        return CastMediator(term.source, term.target, term.label)
+
+    def is_fun_proxy(self, mediator: CastMediator) -> bool:
+        return isinstance(mediator.source, FunType) and isinstance(mediator.target, FunType)
+
+    def is_prod_proxy(self, mediator: CastMediator) -> bool:
+        return isinstance(mediator.source, ProdType) and isinstance(mediator.target, ProdType)
+
+    def _is_injection(self, mediator: CastMediator) -> bool:
+        return isinstance(mediator.target, DynType) and is_ground(mediator.source)
+
+    def apply(self, value: MachineValue, m: CastMediator) -> MachineValue:
+        source, target, label = m.source, m.target, m.label
+
+        if source == target and not isinstance(source, (FunType, ProdType)):
+            return value  # ι ⇒ ι and ? ⇒ ?
+        if self.is_fun_proxy(m) or self.is_prod_proxy(m):
+            return MProxy(value, m)
+        if isinstance(target, DynType):
+            if is_ground(source):
+                return MProxy(value, m)
+            ground = ground_of(source)
+            staged = self.apply(value, CastMediator(source, ground, label))
+            return self.apply(staged, CastMediator(ground, target, label))
+        if isinstance(source, DynType):
+            if not is_ground(target):
+                ground = ground_of(target)
+                staged = self.apply(value, CastMediator(source, ground, label))
+                return self.apply(staged, CastMediator(ground, target, label))
+            # Projection out of ?: the value must be an injected proxy.
+            if isinstance(value, MProxy) and isinstance(value.mediator, CastMediator):
+                inner = value.mediator
+                if self._is_injection(inner):
+                    if inner.source == target:
+                        return value.under
+                    raise MachineBlame(label)
+            raise EvaluationError(f"projection applied to a non-injected value: {value!r}")
+        raise EvaluationError(f"no cast rule applies to {m!r}")
+
+    def fun_parts(self, m: CastMediator) -> tuple[CastMediator, CastMediator]:
+        source, target = m.source, m.target
+        assert isinstance(source, FunType) and isinstance(target, FunType)
+        dom = CastMediator(target.dom, source.dom, m.label.complement())
+        cod = CastMediator(source.cod, target.cod, m.label)
+        return dom, cod
+
+    def prod_parts(self, m: CastMediator) -> tuple[CastMediator, CastMediator]:
+        source, target = m.source, m.target
+        assert isinstance(source, ProdType) and isinstance(target, ProdType)
+        left = CastMediator(source.left, target.left, m.label)
+        right = CastMediator(source.right, target.right, m.label)
+        return left, right
+
+    def size(self, m: CastMediator) -> int:
+        return 1 + type_size(m.source) + type_size(m.target)
+
+
+# ---------------------------------------------------------------------------
+# λC: coercions as mediators (no merging)
+# ---------------------------------------------------------------------------
+
+
+class CoercionPolicy(MediationPolicy):
+    """The λC machine's mediation policy (Henglein coercions, no merging)."""
+
+    name = "C"
+    merges_pending_mediators = False
+
+    def is_mediation_node(self, term: Term) -> bool:
+        return isinstance(term, Coerce) and isinstance(term.coercion, co_c.Coercion)
+
+    def term_mediator(self, term: Term) -> co_c.Coercion:
+        assert isinstance(term, Coerce)
+        return term.coercion
+
+    def is_fun_proxy(self, mediator: co_c.Coercion) -> bool:
+        return isinstance(mediator, co_c.FunCoercion)
+
+    def is_prod_proxy(self, mediator: co_c.Coercion) -> bool:
+        return isinstance(mediator, co_c.ProdCoercion)
+
+    def apply(self, value: MachineValue, c: co_c.Coercion) -> MachineValue:
+        if isinstance(c, co_c.Identity):
+            return value
+        if isinstance(c, co_c.Sequence):
+            return self.apply(self.apply(value, c.first), c.second)
+        if isinstance(c, co_c.Fail):
+            raise MachineBlame(c.label)
+        if isinstance(c, co_c.Project):
+            if isinstance(value, MProxy) and isinstance(value.mediator, co_c.Inject):
+                if value.mediator.ground == c.ground:
+                    return value.under
+                raise MachineBlame(c.label)
+            raise EvaluationError(f"projection applied to a non-injected value: {value!r}")
+        if isinstance(c, (co_c.FunCoercion, co_c.ProdCoercion, co_c.Inject)):
+            return MProxy(value, c)
+        raise EvaluationError(f"unknown coercion: {c!r}")
+
+    def fun_parts(self, c: co_c.FunCoercion) -> tuple[co_c.Coercion, co_c.Coercion]:
+        return c.dom, c.cod
+
+    def prod_parts(self, c: co_c.ProdCoercion) -> tuple[co_c.Coercion, co_c.Coercion]:
+        return c.left, c.right
+
+    def size(self, c: co_c.Coercion) -> int:
+        return co_c.size(c)
+
+
+# ---------------------------------------------------------------------------
+# λS: canonical coercions as mediators, with merging
+# ---------------------------------------------------------------------------
+
+
+class SpacePolicy(MediationPolicy):
+    """The λS machine's mediation policy: canonical coercions merged with ``#``."""
+
+    name = "S"
+    merges_pending_mediators = True
+
+    def is_mediation_node(self, term: Term) -> bool:
+        return isinstance(term, Coerce) and isinstance(term.coercion, co_s.SpaceCoercion)
+
+    def term_mediator(self, term: Term) -> co_s.SpaceCoercion:
+        assert isinstance(term, Coerce)
+        return term.coercion
+
+    def is_fun_proxy(self, mediator: co_s.SpaceCoercion) -> bool:
+        return isinstance(mediator, co_s.FunCo)
+
+    def is_prod_proxy(self, mediator: co_s.SpaceCoercion) -> bool:
+        return isinstance(mediator, co_s.ProdCo)
+
+    def apply(self, value: MachineValue, s: co_s.SpaceCoercion) -> MachineValue:
+        # A proxied value absorbs the new coercion by composition, so a value
+        # never carries more than one mediator — the value-level counterpart
+        # of merging pending continuation frames.
+        if isinstance(value, MProxy) and isinstance(value.mediator, co_s.SpaceCoercion):
+            return self.apply(value.under, co_s.compose(value.mediator, s))
+        if isinstance(s, (co_s.IdBase, co_s.IdDyn)):
+            return value
+        if isinstance(s, co_s.FailS):
+            raise MachineBlame(s.label)
+        if isinstance(s, co_s.Projection):
+            raise EvaluationError(f"projection applied to a non-injected value: {value!r}")
+        if isinstance(s, (co_s.FunCo, co_s.ProdCo, co_s.Injection)):
+            return MProxy(value, s)
+        raise EvaluationError(f"unknown canonical coercion: {s!r}")
+
+    def fun_parts(self, s: co_s.FunCo) -> tuple[co_s.SpaceCoercion, co_s.SpaceCoercion]:
+        return s.dom, s.cod
+
+    def prod_parts(self, s: co_s.ProdCo) -> tuple[co_s.SpaceCoercion, co_s.SpaceCoercion]:
+        return s.left, s.right
+
+    def compose(self, first: co_s.SpaceCoercion, second: co_s.SpaceCoercion) -> co_s.SpaceCoercion:
+        return co_s.compose(first, second)
+
+    def size(self, s: co_s.SpaceCoercion) -> int:
+        return co_s.size(s)
+
+
+BLAME_POLICY = BlamePolicy()
+COERCION_POLICY = CoercionPolicy()
+SPACE_POLICY = SpacePolicy()

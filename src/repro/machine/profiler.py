@@ -1,0 +1,68 @@
+"""Space and time accounting for the abstract machines.
+
+The quantities of interest (following Herman et al. 2007/2010 and Section 1
+of the paper):
+
+* ``max_pending_mediators`` — the largest number of pending cast/coercion
+  frames on the continuation at any point of the run;
+* ``max_pending_size`` — the largest total *size* of those pending mediators;
+* ``max_kont_depth`` — the deepest continuation overall (pending mediators
+  plus ordinary frames);
+* ``steps`` — machine transitions taken.
+
+For boundary-crossing tail-recursive programs, the first two grow linearly
+with the number of calls on the λB and λC machines and stay bounded on the λS
+machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MachineStats:
+    """Mutable counters updated by the machine while it runs."""
+
+    steps: int = 0
+    max_kont_depth: int = 0
+    max_pending_mediators: int = 0
+    max_pending_size: int = 0
+    pending_mediators: int = field(default=0, repr=False)
+    pending_size: int = field(default=0, repr=False)
+    merges: int = 0
+    mediator_applications: int = 0
+
+    def note_depth(self, depth: int) -> None:
+        if depth > self.max_kont_depth:
+            self.max_kont_depth = depth
+
+    def push_mediator(self, size: int) -> None:
+        self.pending_mediators += 1
+        self.pending_size += size
+        self._refresh()
+
+    def pop_mediator(self, size: int) -> None:
+        self.pending_mediators -= 1
+        self.pending_size -= size
+
+    def replace_mediator(self, old_size: int, new_size: int) -> None:
+        self.pending_size += new_size - old_size
+        self.merges += 1
+        self._refresh()
+
+    def _refresh(self) -> None:
+        if self.pending_mediators > self.max_pending_mediators:
+            self.max_pending_mediators = self.pending_mediators
+        if self.pending_size > self.max_pending_size:
+            self.max_pending_size = self.pending_size
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "steps": self.steps,
+            "max_kont_depth": self.max_kont_depth,
+            "max_pending_mediators": self.max_pending_mediators,
+            "max_pending_size": self.max_pending_size,
+            "merges": self.merges,
+            "mediator_applications": self.mediator_applications,
+        }

@@ -1,0 +1,179 @@
+"""Executable bisimulation checks between the calculi (Propositions 11 and 16).
+
+* λB ↔ λC (Proposition 11) is a **lockstep** bisimulation: one step on one
+  side corresponds to exactly one step on the other, and the translation
+  ``|·|BC`` of the λB reduct is *syntactically* the λC reduct.  The checker
+  runs both machines side by side and verifies this at every step.
+
+* λC ↔ λS (Proposition 16) is **not** lockstep — one λC step may correspond
+  to zero or more λS steps and vice versa.  The checker verifies the
+  observable consequences: both sides produce the same outcome (value /
+  blame-with-the-same-label / timeout), related values erase to α-equivalent
+  terms, and the λS side never holds two adjacent coercions in evaluation
+  position after a merge opportunity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.terms import Blame, Coerce, Term, alpha_equal, erase, subterms
+from ..translate.b_to_c import term_to_lambda_c
+from ..translate.c_to_s import term_to_lambda_s
+from .calculi import LAMBDA_B, LAMBDA_C, LAMBDA_S
+
+
+@dataclass(frozen=True)
+class BisimulationReport:
+    ok: bool
+    steps_left: int
+    steps_right: int
+    reason: str = ""
+    left_term: Term | None = None
+    right_term: Term | None = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+# ---------------------------------------------------------------------------
+# λB ↔ λC: lockstep (Proposition 11)
+# ---------------------------------------------------------------------------
+
+
+def check_lockstep_b_c(term_b: Term, fuel: int = 5_000) -> BisimulationReport:
+    """Run λB and λC side by side, checking the lockstep correspondence."""
+    current_b = term_b
+    current_c = term_to_lambda_c(term_b)
+
+    for steps in range(fuel):
+        translated = term_to_lambda_c(current_b) if not isinstance(current_b, Blame) else current_b
+        if not alpha_equal(translated, current_c):
+            return BisimulationReport(
+                False, steps, steps,
+                "translation of the λB state differs from the λC state",
+                current_b, current_c,
+            )
+
+        b_is_value = LAMBDA_B.is_value(current_b)
+        c_is_value = LAMBDA_C.is_value(current_c)
+        b_is_blame = isinstance(current_b, Blame)
+        c_is_blame = isinstance(current_c, Blame)
+
+        if b_is_value != c_is_value:
+            return BisimulationReport(
+                False, steps, steps, "value on one side but not the other", current_b, current_c
+            )
+        if b_is_blame != c_is_blame:
+            return BisimulationReport(
+                False, steps, steps, "blame on one side but not the other", current_b, current_c
+            )
+        if b_is_blame and current_b.label != current_c.label:
+            return BisimulationReport(
+                False, steps, steps, "blame labels differ", current_b, current_c
+            )
+        if b_is_value or b_is_blame:
+            return BisimulationReport(True, steps, steps)
+
+        next_b = LAMBDA_B.step(current_b)
+        next_c = LAMBDA_C.step(current_c)
+        if next_b is None or next_c is None:
+            return BisimulationReport(
+                False, steps, steps, "one side stopped while the other still steps",
+                current_b, current_c,
+            )
+        current_b, current_c = next_b, next_c
+
+    return BisimulationReport(True, fuel, fuel, "fuel exhausted (no violation observed)")
+
+
+# ---------------------------------------------------------------------------
+# λC ↔ λS: outcome bisimulation (Proposition 16)
+# ---------------------------------------------------------------------------
+
+
+def max_adjacent_merged_coercions(term: Term) -> int:
+    """The longest chain of immediately nested coercion applications in a λS term."""
+    def chain(t: Term) -> int:
+        if isinstance(t, Coerce):
+            return 1 + chain(t.subject)
+        return 0
+
+    return max((chain(t) for t in subterms(term)), default=0)
+
+
+def check_outcomes_c_s(term_c: Term, fuel: int = 50_000) -> BisimulationReport:
+    """Check that a λC term and its λS translation agree observationally.
+
+    Also verifies the space-efficiency invariant: along the λS trace, the
+    longest chain of stacked coercion applications never exceeds the static
+    nesting already present in the translated program plus one (one extra
+    level appears transiently between a rule firing and the merge that
+    immediately follows it).  In λC, by contrast, this chain is unbounded —
+    that contrast is measured by ``benchmarks/bench_space.py``.
+    """
+    term_s = term_to_lambda_s(term_c)
+
+    outcome_c = LAMBDA_C.run(term_c, fuel)
+    steps_c = outcome_c.steps
+    static_bound = max(max_adjacent_merged_coercions(term_s), 1) + 1
+
+    # Walk the λS trace explicitly so we can check the merge invariant.
+    current = term_s
+    steps_s = 0
+    outcome_s_kind = "timeout"
+    outcome_s_value = None
+    outcome_s_label = None
+    for steps_s in range(fuel + 1):
+        if isinstance(current, Blame):
+            outcome_s_kind, outcome_s_label = "blame", current.label
+            break
+        if LAMBDA_S.is_value(current):
+            outcome_s_kind, outcome_s_value = "value", current
+            break
+        if max_adjacent_merged_coercions(current) > static_bound:
+            return BisimulationReport(
+                False, steps_c, steps_s,
+                f"λS state stacks more than {static_bound} coercions", term_c, current,
+            )
+        nxt = LAMBDA_S.step(current)
+        if nxt is None:
+            return BisimulationReport(
+                False, steps_c, steps_s, "λS term is stuck", term_c, current
+            )
+        current = nxt
+
+    if outcome_c.is_timeout or outcome_s_kind == "timeout":
+        ok = outcome_c.is_timeout and outcome_s_kind == "timeout"
+        return BisimulationReport(ok, steps_c, steps_s,
+                                  "" if ok else "one side timed out, the other finished",
+                                  term_c, current)
+
+    if outcome_c.is_blame or outcome_s_kind == "blame":
+        if not (outcome_c.is_blame and outcome_s_kind == "blame"):
+            return BisimulationReport(
+                False, steps_c, steps_s, "blame on one side only", term_c, current
+            )
+        if outcome_c.label != outcome_s_label:
+            return BisimulationReport(
+                False, steps_c, steps_s,
+                f"blame labels differ: {outcome_c.label} vs {outcome_s_label}",
+                term_c, current,
+            )
+        return BisimulationReport(True, steps_c, steps_s)
+
+    # Both values: they must erase to α-equivalent underlying terms.
+    if not alpha_equal(erase(outcome_c.term), erase(outcome_s_value)):
+        return BisimulationReport(
+            False, steps_c, steps_s, "values erase to different terms",
+            outcome_c.term, outcome_s_value,
+        )
+    return BisimulationReport(True, steps_c, steps_s)
+
+
+def check_outcomes_b_c_s(term_b: Term, fuel: int = 50_000) -> BisimulationReport:
+    """End-to-end agreement of all three calculi on a λB program."""
+    lockstep = check_lockstep_b_c(term_b, min(fuel, 5_000))
+    if not lockstep.ok:
+        return lockstep
+    return check_outcomes_c_s(term_to_lambda_c(term_b), fuel)

@@ -1,0 +1,88 @@
+"""Executable check of blame safety (Proposition 5) — "well-typed programs can't be blamed".
+
+For each calculus: if ``M safe q`` then (1) reduction preserves safety for
+``q`` and (2) ``M`` never reduces to ``blame q``.  The checker evaluates the
+term with a step budget, confirming both along the trace, for every label the
+term is statically safe for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.labels import Label
+from ..core.terms import Blame, Cast, Coerce, Term, subterms
+from ..lambda_c.coercions import Coercion
+from ..lambda_c.coercions import labels_of as labels_of_coercion
+from ..lambda_s.coercions import SpaceCoercion
+from ..lambda_s.coercions import labels_of as labels_of_space
+from .calculi import CalculusOps
+
+
+@dataclass(frozen=True)
+class BlameSafetyReport:
+    ok: bool
+    steps: int
+    reason: str = ""
+    violating_label: Label | None = None
+    checked_labels: frozenset[Label] = field(default_factory=frozenset)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def labels_in_term(term: Term) -> set[Label]:
+    """Every label (and its complement) mentioned anywhere in the term."""
+    found: set[Label] = set()
+    for sub in subterms(term):
+        if isinstance(sub, Cast):
+            found.add(sub.label)
+            found.add(sub.label.complement())
+        elif isinstance(sub, Coerce):
+            coercion = sub.coercion
+            if isinstance(coercion, Coercion):
+                mentioned = labels_of_coercion(coercion)
+            elif isinstance(coercion, SpaceCoercion):
+                mentioned = labels_of_space(coercion)
+            else:  # pragma: no cover - defensive
+                mentioned = set()
+            for lbl in mentioned:
+                found.add(lbl)
+                found.add(lbl.complement())
+        elif isinstance(sub, Blame):
+            found.add(sub.label)
+            found.add(sub.label.complement())
+    return found
+
+
+def check_blame_safety(
+    calculus: CalculusOps, term: Term, fuel: int = 2_000
+) -> BlameSafetyReport:
+    """Check Proposition 5 for every label mentioned by ``term``."""
+    candidates = labels_in_term(term)
+    safe_labels = frozenset(q for q in candidates if calculus.term_safe_for(term, q))
+
+    current = term
+    steps = 0
+    for steps, current in enumerate(calculus.trace(term, fuel)):
+        if isinstance(current, Blame):
+            if current.label in safe_labels:
+                return BlameSafetyReport(
+                    False,
+                    steps,
+                    f"term blamed {current.label} despite being statically safe for it",
+                    current.label,
+                    safe_labels,
+                )
+            break
+        # Preservation of safety along the trace.
+        for q in safe_labels:
+            if not calculus.term_safe_for(current, q):
+                return BlameSafetyReport(
+                    False,
+                    steps,
+                    f"safety for {q} was not preserved by reduction",
+                    q,
+                    safe_labels,
+                )
+    return BlameSafetyReport(True, steps, checked_labels=safe_labels)

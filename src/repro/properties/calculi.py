@@ -1,0 +1,76 @@
+"""A uniform handle on the three calculi, for generic metatheory checkers.
+
+Each calculus exposes the same interface — type synthesis, value predicate,
+single-step reduction, multi-step evaluation, and blame safety — so the
+property checkers (type safety, blame safety, bisimulations) can be written
+once and instantiated three times, mirroring the paper's "mutatis mutandis".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..core.terms import Term
+from ..lambda_b import reduction as reduction_b
+from ..lambda_b import safety as safety_b
+from ..lambda_b import syntax as syntax_b
+from ..lambda_b import typecheck as typecheck_b
+from ..lambda_c import reduction as reduction_c
+from ..lambda_c import safety as safety_c
+from ..lambda_c import syntax as syntax_c
+from ..lambda_c import typecheck as typecheck_c
+from ..lambda_s import reduction as reduction_s
+from ..lambda_s import safety as safety_s
+from ..lambda_s import syntax as syntax_s
+from ..lambda_s import typecheck as typecheck_s
+
+
+@dataclass(frozen=True)
+class CalculusOps:
+    """The operations of one calculus, under the names used by the checkers."""
+
+    name: str
+    type_of: Callable
+    is_value: Callable[[Term], bool]
+    step: Callable[[Term], Term | None]
+    run: Callable
+    trace: Callable[..., Iterator[Term]]
+    term_safe_for: Callable
+    is_term: Callable[[Term], bool]
+
+
+LAMBDA_B = CalculusOps(
+    name="B",
+    type_of=typecheck_b.type_of,
+    is_value=syntax_b.is_value,
+    step=reduction_b.step,
+    run=reduction_b.run,
+    trace=reduction_b.trace,
+    term_safe_for=safety_b.term_safe_for,
+    is_term=syntax_b.is_lambda_b_term,
+)
+
+LAMBDA_C = CalculusOps(
+    name="C",
+    type_of=typecheck_c.type_of,
+    is_value=syntax_c.is_value,
+    step=reduction_c.step,
+    run=reduction_c.run,
+    trace=reduction_c.trace,
+    term_safe_for=safety_c.term_safe_for,
+    is_term=syntax_c.is_lambda_c_term,
+)
+
+LAMBDA_S = CalculusOps(
+    name="S",
+    type_of=typecheck_s.type_of,
+    is_value=syntax_s.is_value,
+    step=reduction_s.step,
+    run=reduction_s.run,
+    trace=reduction_s.trace,
+    term_safe_for=safety_s.term_safe_for,
+    is_term=syntax_s.is_lambda_s_term,
+)
+
+CALCULI = {"B": LAMBDA_B, "C": LAMBDA_C, "S": LAMBDA_S}

@@ -1,0 +1,89 @@
+"""The Fundamental Property of Casts (Section 5.2, Lemmas 20 and 21).
+
+Lemma 20: if ``A & B <:n C`` then ``|A ⇒p B|BS = |A ⇒p C|BS # |C ⇒p B|BS``.
+Lemma 21: under the same hypothesis, ``M : A ⇒p B`` is contextually
+equivalent to ``M : A ⇒p C ⇒p B``.
+
+The checkers verify Lemma 20 syntactically on the canonical coercions and
+Lemma 21 behaviourally (Kleene equivalence plus contextual probing) on
+supplied subject terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.labels import Label
+from ..core.subtyping import contains_bottom, meet, subtype_naive
+from ..core.terms import Cast, Term
+from ..core.types import Type, compatible
+from ..lambda_s.coercions import compose
+from ..translate.b_to_s import cast_to_space
+from .calculi import LAMBDA_B
+from .equivalence import contextually_equivalent, kleene_equivalent
+
+
+@dataclass(frozen=True)
+class FundamentalPropertyReport:
+    ok: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def applicable(a: Type, b: Type, c: Type) -> bool:
+    """Does the hypothesis of Lemma 20/21 hold: ``A ~ B``, ``A ~ C``, ``C ~ B``,
+    and ``A & B <:n C``?"""
+    if not (compatible(a, b) and compatible(a, c) and compatible(c, b)):
+        return False
+    return subtype_naive(meet(a, b), c)
+
+
+def check_lemma20(a: Type, label: Label, b: Type, c: Type) -> FundamentalPropertyReport:
+    """Check the coercion-level identity of Lemma 20."""
+    if not applicable(a, b, c):
+        return FundamentalPropertyReport(False, "hypothesis A & B <:n C does not hold")
+    direct = cast_to_space(a, label, b)
+    through_c = compose(cast_to_space(a, label, c), cast_to_space(c, label, b))
+    if direct != through_c:
+        return FundamentalPropertyReport(
+            False, f"|A=>B|BS = {direct} but |A=>C|BS # |C=>B|BS = {through_c}"
+        )
+    return FundamentalPropertyReport(True)
+
+
+def check_lemma21(
+    subject: Term,
+    a: Type,
+    label: Label,
+    b: Type,
+    c: Type,
+    fuel: int = 20_000,
+    probe: bool = True,
+) -> FundamentalPropertyReport:
+    """Check the behavioural consequence of the Fundamental Property of Casts.
+
+    ``subject`` must be a closed λB term of type ``A``.
+    """
+    if not applicable(a, b, c):
+        return FundamentalPropertyReport(False, "hypothesis A & B <:n C does not hold")
+    single = Cast(subject, a, b, label)
+    double = Cast(Cast(subject, a, c, label), c, b, label)
+    if not kleene_equivalent(LAMBDA_B, single, LAMBDA_B, double, fuel):
+        return FundamentalPropertyReport(False, "top-level outcomes differ")
+    if probe and not contextually_equivalent(LAMBDA_B, single, LAMBDA_B, double, b, fuel):
+        return FundamentalPropertyReport(False, "a probing context distinguishes the two casts")
+    return FundamentalPropertyReport(True)
+
+
+def candidate_mediating_types(a: Type, b: Type, candidates) -> list[Type]:
+    """All candidate ``C`` (from an iterable of types) satisfying the hypothesis."""
+    lower = meet(a, b)
+    result = []
+    for c in candidates:
+        if contains_bottom(c):
+            continue
+        if compatible(a, c) and compatible(c, b) and subtype_naive(lower, c):
+            result.append(c)
+    return result

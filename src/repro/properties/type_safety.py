@@ -1,0 +1,79 @@
+"""Executable check of type safety (Proposition 3) along reduction traces.
+
+Proposition 3 (for each calculus): a well-typed closed term either steps,
+is a value, or is ``blame p`` (progress); and stepping preserves the type
+(preservation).  The checker walks a bounded reduction trace, re-type-checks
+every intermediate term, and reports the first violation it finds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import StuckError, TypeCheckError
+from ..core.terms import Blame, Term
+from ..core.types import Type, UnknownType, types_equal
+from .calculi import CalculusOps
+
+
+@dataclass(frozen=True)
+class TypeSafetyReport:
+    """The result of checking Proposition 3 on one term."""
+
+    ok: bool
+    steps: int
+    reason: str = ""
+    offending_term: Term | None = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def check_type_safety(calculus: CalculusOps, term: Term, fuel: int = 2_000) -> TypeSafetyReport:
+    """Check progress and preservation for ``term`` along at most ``fuel`` steps."""
+    try:
+        current_type: Type = calculus.type_of(term)
+    except TypeCheckError as exc:
+        return TypeSafetyReport(False, 0, f"initial term does not type check: {exc}", term)
+
+    current = term
+    for steps in range(fuel):
+        if isinstance(current, Blame):
+            return TypeSafetyReport(True, steps)
+        if calculus.is_value(current):
+            return TypeSafetyReport(True, steps)
+
+        # Progress: a well-typed non-value, non-blame term must step.
+        try:
+            nxt = calculus.step(current)
+        except StuckError as exc:
+            return TypeSafetyReport(False, steps, f"progress violated: {exc}", current)
+        if nxt is None:
+            return TypeSafetyReport(False, steps, "progress violated: no step, not a value", current)
+
+        # Preservation: the reduct is well-typed at the same type (blame may
+        # take any type, and terms containing blame synthesise the wildcard).
+        try:
+            next_type = calculus.type_of(nxt)
+        except TypeCheckError as exc:
+            return TypeSafetyReport(False, steps, f"preservation violated: {exc}", nxt)
+        if not isinstance(nxt, Blame) and not isinstance(next_type, UnknownType):
+            if not isinstance(current_type, UnknownType) and not types_equal(next_type, current_type):
+                return TypeSafetyReport(
+                    False,
+                    steps,
+                    f"preservation violated: type changed from {current_type} to {next_type}",
+                    nxt,
+                )
+        if isinstance(current_type, UnknownType) and not isinstance(next_type, UnknownType):
+            current_type = next_type
+        current = nxt
+
+    return TypeSafetyReport(True, fuel, "fuel exhausted (no violation observed)")
+
+
+def check_unique_type(calculus: CalculusOps, term: Term) -> bool:
+    """Well-typed blame-free terms have a unique synthesised type (Section 2)."""
+    first = calculus.type_of(term)
+    second = calculus.type_of(term)
+    return types_equal(first, second)

@@ -1,0 +1,168 @@
+"""Supercoercions (Garcia 2013) — the §6.3 baseline.
+
+Garcia derives threesomes from coercions via *supercoercions*, whose meaning
+is given by a translation ``N(·)`` into ordinary coercions.  The paper quotes
+the translation table and notes that Garcia's composition function has sixty
+cases, against the ten lines of λS's ``#``.
+
+This module implements the supercoercion constructors and the meaning
+function :func:`meaning` (the paper's ``N``), so the test suite can check
+that the canonical form of every supercoercion is what λS predicts and that
+composing supercoercions via their meanings and ``#`` is coherent — i.e. the
+ten-line operator subsumes the sixty-case table.
+
+Following the paper's presentation, ``ι_P`` is the identity at an atomic type
+(a base type or ``?``), ``Fail^l`` / ``Fail^{l₁ G l₂}`` are failures
+(optionally guarded by a projection), ``G!`` and ``G?l`` are injection and
+projection, ``G?l!`` is a projection immediately re-injected, and the four
+arrow forms optionally project before (``→?l``) and/or inject after (``!→``)
+a function coercion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import CoercionTypeError
+from ..core.labels import Label
+from ..core.types import GROUND_FUN, DynType, Type, is_ground
+from ..lambda_c.coercions import (
+    Coercion,
+    Fail,
+    FunCoercion,
+    Identity,
+    Inject,
+    Project,
+    Sequence,
+)
+from ..lambda_s.coercions import SpaceCoercion
+from ..translate.c_to_s import coercion_to_space
+
+
+class SuperCoercion:
+    """Abstract base class of Garcia-style supercoercions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SIdentity(SuperCoercion):
+    """``ι_P`` — identity at an atomic type (a base type or ``?``)."""
+
+    type: Type
+
+
+@dataclass(frozen=True)
+class SFail(SuperCoercion):
+    """``Fail^l`` — immediate failure blaming ``l``."""
+
+    label: Label
+    source_ground: Type
+    target_ground: Type
+
+
+@dataclass(frozen=True)
+class SFailProj(SuperCoercion):
+    """``Fail^{l₁ G l₂}`` — project at ``G`` (blaming ``l₂`` on the projection),
+    then fail blaming ``l₁``."""
+
+    fail_label: Label
+    ground: Type
+    project_label: Label
+    target_ground: Type
+
+
+@dataclass(frozen=True)
+class SInject(SuperCoercion):
+    """``G!``."""
+
+    ground: Type
+
+
+@dataclass(frozen=True)
+class SProject(SuperCoercion):
+    """``G?l``."""
+
+    ground: Type
+    label: Label
+
+
+@dataclass(frozen=True)
+class SProjectInject(SuperCoercion):
+    """``G?l!`` — project at ``G`` then re-inject."""
+
+    ground: Type
+    label: Label
+
+
+@dataclass(frozen=True)
+class SArrow(SuperCoercion):
+    """``c̈₁ → c̈₂`` with optional injection after and projection (label) before."""
+
+    dom: SuperCoercion
+    cod: SuperCoercion
+    inject_after: bool = False
+    project_label: Optional[Label] = None
+
+
+def meaning(super_coercion: SuperCoercion) -> Coercion:
+    """Garcia's ``N(·)``: the coercion a supercoercion denotes."""
+    sc = super_coercion
+    if isinstance(sc, SIdentity):
+        return Identity(sc.type)
+    if isinstance(sc, SFail):
+        return Fail(sc.source_ground, sc.label, sc.target_ground)
+    if isinstance(sc, SFailProj):
+        # N(Fail^{l1 G l2}) = Fail^{l1} ∘ G?l2  — project first, then fail.
+        return Sequence(
+            Project(sc.ground, sc.project_label),
+            Fail(sc.ground, sc.fail_label, sc.target_ground),
+        )
+    if isinstance(sc, SInject):
+        return Inject(sc.ground)
+    if isinstance(sc, SProject):
+        return Project(sc.ground, sc.label)
+    if isinstance(sc, SProjectInject):
+        # N(G?l!) = G! ∘ G?l — project then re-inject.
+        return Sequence(Project(sc.ground, sc.label), Inject(sc.ground))
+    if isinstance(sc, SArrow):
+        arrow: Coercion = FunCoercion(meaning(sc.dom), meaning(sc.cod))
+        if sc.project_label is not None:
+            arrow = Sequence(Project(GROUND_FUN, sc.project_label), arrow)
+        if sc.inject_after:
+            arrow = Sequence(arrow, Inject(GROUND_FUN))
+        return arrow
+    raise CoercionTypeError(f"unknown supercoercion {sc!r}")
+
+
+def canonical_meaning(super_coercion: SuperCoercion) -> SpaceCoercion:
+    """The canonical (λS) form of a supercoercion's meaning."""
+    return coercion_to_space(meaning(super_coercion))
+
+
+def compose_via_meanings(first: SuperCoercion, second: SuperCoercion) -> SpaceCoercion:
+    """Compose two supercoercions by translating to λS and using ``#``.
+
+    This is the point of the comparison in §6.3: instead of Garcia's sixty-case
+    composition table on supercoercions, the ten-line ``#`` on canonical forms
+    does the same job.
+    """
+    from ..lambda_s.coercions import compose
+
+    return compose(canonical_meaning(first), canonical_meaning(second))
+
+
+__all__ = [
+    "SuperCoercion",
+    "SIdentity",
+    "SFail",
+    "SFailProj",
+    "SInject",
+    "SProject",
+    "SProjectInject",
+    "SArrow",
+    "meaning",
+    "canonical_meaning",
+    "compose_via_meanings",
+]

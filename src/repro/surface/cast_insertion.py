@@ -1,0 +1,270 @@
+"""Cast insertion: elaborate the gradually typed surface language into λB.
+
+This is the standard Siek & Taha (2006) elaboration: type checking uses
+consistency, and every place where consistency (rather than equality) was
+needed receives an explicit cast ``M : A ⇒p B`` whose blame label names the
+source location and the role of the cast.  The output is a λB term, ready to
+be run directly or translated to λC / λS.
+"""
+
+from __future__ import annotations
+
+from ..core.env import EMPTY_ENV, TypeEnv
+from ..core.errors import TypeCheckError
+from ..core.labels import Label
+from ..core.ops import constant_type, op_spec
+from ..core.terms import (
+    App,
+    Cast,
+    Const,
+    Fix,
+    Fst,
+    If,
+    Lam,
+    Let,
+    Op,
+    Pair,
+    Snd,
+    Term,
+    Var,
+)
+from ..core.types import DYN, GROUND_FUN, BOOL, DynType, FunType, Type, types_equal
+from .ast import (
+    Definition,
+    Program,
+    SApp,
+    SAscribe,
+    SConst,
+    SFst,
+    SIf,
+    SLam,
+    SLet,
+    SLetRec,
+    SOp,
+    SPair,
+    SSnd,
+    SourceLocation,
+    SurfaceExpr,
+    SVar,
+)
+from .consistency import branch_join, consistent, fun_match, prod_match
+
+
+class ElaborationError(TypeCheckError):
+    """A static type error in the surface program."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        suffix = f" (at {location})" if location is not None else ""
+        super().__init__(f"{message}{suffix}")
+        self.location = location
+
+
+def _blame(location: SourceLocation, role: str) -> Label:
+    return Label(location.blame_name(role))
+
+
+def coerce(term: Term, source: Type, target: Type, location: SourceLocation, role: str) -> Term:
+    """Insert a cast from ``source`` to ``target`` if the types differ.
+
+    Raises :class:`ElaborationError` when the types are not even consistent —
+    that is a static type error in the surface program.
+    """
+    if types_equal(source, target):
+        return term
+    if not consistent(source, target):
+        raise ElaborationError(f"{role}: type {source} is not consistent with {target}", location)
+    return Cast(term, source, target, _blame(location, role))
+
+
+def elaborate(expr: SurfaceExpr, env: TypeEnv = EMPTY_ENV) -> tuple[Term, Type]:
+    """Elaborate a surface expression, returning the λB term and its type."""
+
+    if isinstance(expr, SConst):
+        ty = constant_type(expr.value)
+        return Const(expr.value, ty), ty
+
+    if isinstance(expr, SVar):
+        if expr.name not in env:
+            raise ElaborationError(f"unbound variable {expr.name!r}", expr.location)
+        return Var(expr.name), env.lookup(expr.name)
+
+    if isinstance(expr, SLam):
+        inner_env = env
+        for name, ty in expr.params:
+            inner_env = inner_env.extend(name, ty)
+        body, body_ty = elaborate(expr.body, inner_env)
+        term: Term = body
+        result_ty: Type = body_ty
+        for name, ty in reversed(expr.params):
+            term = Lam(name, ty, term)
+            result_ty = FunType(ty, result_ty)
+        return term, result_ty
+
+    if isinstance(expr, SApp):
+        fun_term, fun_ty = elaborate(expr.fun, env)
+        for arg in expr.args:
+            match = fun_match(fun_ty)
+            if match is None:
+                raise ElaborationError(f"applying a non-function of type {fun_ty}", expr.location)
+            fun_term = coerce(fun_term, fun_ty, match, expr.location, "fun")
+            arg_term, arg_ty = elaborate(arg, env)
+            arg_term = coerce(arg_term, arg_ty, match.dom, expr.location, "arg")
+            fun_term, fun_ty = App(fun_term, arg_term), match.cod
+        return fun_term, fun_ty
+
+    if isinstance(expr, SOp):
+        spec = op_spec(expr.op)
+        if len(expr.args) != spec.arity:
+            raise ElaborationError(
+                f"operator {expr.op!r} expects {spec.arity} arguments, got {len(expr.args)}",
+                expr.location,
+            )
+        arg_terms = []
+        for arg, expected in zip(expr.args, spec.arg_types):
+            arg_term, arg_ty = elaborate(arg, env)
+            arg_terms.append(coerce(arg_term, arg_ty, expected, expr.location, f"{expr.op}-arg"))
+        return Op(expr.op, tuple(arg_terms)), spec.result_type
+
+    if isinstance(expr, SIf):
+        cond_term, cond_ty = elaborate(expr.cond, env)
+        cond_term = coerce(cond_term, cond_ty, BOOL, expr.location, "if-test")
+        then_term, then_ty = elaborate(expr.then_branch, env)
+        else_term, else_ty = elaborate(expr.else_branch, env)
+        joined = branch_join(then_ty, else_ty)
+        if joined is None:
+            raise ElaborationError(
+                f"if-branches have inconsistent types {then_ty} and {else_ty}", expr.location
+            )
+        then_term = coerce(then_term, then_ty, joined, expr.location, "then")
+        else_term = coerce(else_term, else_ty, joined, expr.location, "else")
+        return If(cond_term, then_term, else_term), joined
+
+    if isinstance(expr, SLet):
+        inner_env = env
+        elaborated: list[tuple[str, Term]] = []
+        for name, bound in expr.bindings:
+            bound_term, bound_ty = elaborate(bound, inner_env)
+            elaborated.append((name, bound_term))
+            inner_env = inner_env.extend(name, bound_ty)
+        body_term, body_ty = elaborate(expr.body, inner_env)
+        for name, bound_term in reversed(elaborated):
+            body_term = Let(name, bound_term, body_term)
+        return body_term, body_ty
+
+    if isinstance(expr, SLetRec):
+        return _elaborate_letrec(expr, env)
+
+    if isinstance(expr, SPair):
+        left_term, left_ty = elaborate(expr.left, env)
+        right_term, right_ty = elaborate(expr.right, env)
+        from ..core.types import ProdType
+
+        return Pair(left_term, right_term), ProdType(left_ty, right_ty)
+
+    if isinstance(expr, SFst):
+        arg_term, arg_ty = elaborate(expr.arg, env)
+        match = prod_match(arg_ty)
+        if match is None:
+            raise ElaborationError(f"fst of a non-pair of type {arg_ty}", expr.location)
+        arg_term = coerce(arg_term, arg_ty, match, expr.location, "fst")
+        return Fst(arg_term), match.left
+
+    if isinstance(expr, SSnd):
+        arg_term, arg_ty = elaborate(expr.arg, env)
+        match = prod_match(arg_ty)
+        if match is None:
+            raise ElaborationError(f"snd of a non-pair of type {arg_ty}", expr.location)
+        arg_term = coerce(arg_term, arg_ty, match, expr.location, "snd")
+        return Snd(arg_term), match.right
+
+    if isinstance(expr, SAscribe):
+        term, ty = elaborate(expr.expr, env)
+        return coerce(term, ty, expr.annotation, expr.location, "ascription"), expr.annotation
+
+    raise ElaborationError(f"unknown surface expression: {expr!r}")
+
+
+def _elaborate_letrec(expr: SLetRec, env: TypeEnv) -> tuple[Term, Type]:
+    annotation = expr.annotation
+    recursion_type = fun_match(annotation)
+    if recursion_type is None:
+        raise ElaborationError(
+            f"letrec annotation must be a function type (or ?), got {annotation}", expr.location
+        )
+
+    if isinstance(annotation, DynType):
+        # Recursion happens at ?→?; the bound variable is seen at type ? both
+        # inside the definition and in the body.
+        inner_env = env.extend(expr.name, DYN)
+        bound_term, bound_ty = elaborate(expr.bound, inner_env)
+        bound_term = coerce(bound_term, bound_ty, GROUND_FUN, expr.location, "letrec-body")
+        functional = Lam(
+            "%self",
+            GROUND_FUN,
+            Let(
+                expr.name,
+                Cast(Var("%self"), GROUND_FUN, DYN, _blame(expr.location, "letrec-self")),
+                bound_term,
+            ),
+        )
+        fixed: Term = Cast(
+            Fix(functional, GROUND_FUN), GROUND_FUN, DYN, _blame(expr.location, "letrec-result")
+        )
+        body_env = env.extend(expr.name, DYN)
+        body_term, body_ty = elaborate(expr.body, body_env)
+        return Let(expr.name, fixed, body_term), body_ty
+
+    # Ordinary case: the annotation is a function type and recursion happens there.
+    inner_env = env.extend(expr.name, annotation)
+    bound_term, bound_ty = elaborate(expr.bound, inner_env)
+    bound_term = coerce(bound_term, bound_ty, annotation, expr.location, "letrec-body")
+    functional = Lam(expr.name, annotation, bound_term)
+    fixed = Fix(functional, recursion_type)
+    body_env = env.extend(expr.name, annotation)
+    body_term, body_ty = elaborate(expr.body, body_env)
+    return Let(expr.name, fixed, body_term), body_ty
+
+
+# ---------------------------------------------------------------------------
+# Programs
+# ---------------------------------------------------------------------------
+
+
+def elaborate_definition(definition: Definition, env: TypeEnv) -> tuple[Term, Type]:
+    """Elaborate one top-level definition (recursive if annotated with a function type)."""
+    annotation = definition.annotation
+    if annotation is not None and fun_match(annotation) is not None and not isinstance(annotation, DynType):
+        rec = SLetRec(
+            definition.name,
+            annotation,
+            definition.body,
+            SVar(definition.name, definition.location),
+            definition.location,
+        )
+        return _elaborate_letrec(rec, env)
+    term, ty = elaborate(definition.body, env)
+    if annotation is not None:
+        term = coerce(term, ty, annotation, definition.location, f"define-{definition.name}")
+        ty = annotation
+    return term, ty
+
+
+def elaborate_program(program: Program, env: TypeEnv = EMPTY_ENV) -> tuple[Term, Type]:
+    """Elaborate a whole program into a single closed λB term."""
+    if program.main is None:
+        raise ElaborationError("the program has no main expression")
+    bindings: list[tuple[str, Term]] = []
+    current_env = env
+    for definition in program.definitions:
+        term, ty = elaborate_definition(definition, current_env)
+        bindings.append((definition.name, term))
+        current_env = current_env.extend(definition.name, ty)
+    main_term, main_ty = elaborate(program.main, current_env)
+    for name, term in reversed(bindings):
+        main_term = Let(name, term, main_term)
+    return main_term, main_ty
+
+
+def insert_casts(expr: SurfaceExpr, env: TypeEnv = EMPTY_ENV) -> Term:
+    """Elaborate a surface expression and return just the λB term."""
+    return elaborate(expr, env)[0]

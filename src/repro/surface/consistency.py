@@ -1,0 +1,55 @@
+"""Type consistency for the gradually typed surface language (Siek & Taha 2006).
+
+Two types are *consistent* (``A ≈ B``) when they agree wherever both are
+precise; the dynamic type is consistent with everything.  Consistency is
+reflexive and symmetric but deliberately not transitive.
+
+For this language (base types, functions, products, ``?``) consistency
+coincides with the compatibility relation ``A ~ B`` of the calculi, so we
+re-export it under the surface-language name; the matching operators below
+(``fun_match``, ``prod_match``) implement the standard ``▷`` patterns used by
+gradual type checking of application and projection.
+"""
+
+from __future__ import annotations
+
+from ..core.subtyping import gradual_meet
+from ..core.types import DYN, FunType, ProdType, Type, compatible
+
+
+def consistent(a: Type, b: Type) -> bool:
+    """The consistency relation ``A ≈ B``."""
+    return compatible(a, b)
+
+
+def fun_match(ty: Type) -> FunType | None:
+    """Matching for application positions: ``A ▷ A₁ → A₂``.
+
+    A function type matches itself; ``?`` matches ``? → ?``; anything else
+    does not match and the application is a static type error.
+    """
+    if isinstance(ty, FunType):
+        return ty
+    if ty == DYN:
+        return FunType(DYN, DYN)
+    return None
+
+
+def prod_match(ty: Type) -> ProdType | None:
+    """Matching for projection positions: ``A ▷ A₁ × A₂``."""
+    if isinstance(ty, ProdType):
+        return ty
+    if ty == DYN:
+        return ProdType(DYN, DYN)
+    return None
+
+
+def branch_join(a: Type, b: Type) -> Type | None:
+    """The type of an ``if`` whose branches have types ``a`` and ``b``.
+
+    We use the *gradual meet* (the most precise type consistent with both):
+    it keeps all static information and inserts casts on the branches, which
+    may blame at run time if a dynamically typed branch produces a value of a
+    different shape.  Returns ``None`` when the branches are not consistent.
+    """
+    return gradual_meet(a, b)

@@ -1,0 +1,108 @@
+"""Run surface programs end to end: parse → type check → insert casts → evaluate.
+
+The evaluation backend is selectable:
+
+* calculus ``"B"``, ``"C"``, or ``"S"`` — which calculus the elaborated
+  program is translated into;
+* ``use_machine`` — the CEK machine (fast, reports space statistics) or the
+  paper-faithful small-step reducer (slow, but the literal rules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.labels import Label
+from ..core.terms import Term
+from ..core.types import Type
+from ..lambda_b import reduction as reduction_b
+from ..lambda_c import reduction as reduction_c
+from ..lambda_s import reduction as reduction_s
+from ..machine import run_on_machine
+from ..machine.values import machine_value_to_python
+from ..translate import b_to_c, c_to_s
+from .cast_insertion import elaborate_program
+from .parser import parse_program
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The outcome of running a surface program."""
+
+    kind: str  # 'value' | 'blame' | 'timeout'
+    value: object = None
+    blame_label: Label | None = None
+    type: Type | None = None
+    calculus: str = "S"
+    space_stats: dict | None = None
+
+    @property
+    def is_value(self) -> bool:
+        return self.kind == "value"
+
+    @property
+    def is_blame(self) -> bool:
+        return self.kind == "blame"
+
+    def __str__(self) -> str:  # pragma: no cover - presentation
+        if self.kind == "value":
+            return f"{self.value!r} : {self.type}"
+        if self.kind == "blame":
+            return f"blame {self.blame_label}"
+        return "timeout"
+
+
+def compile_source(source: str) -> tuple[Term, Type]:
+    """Parse and elaborate a source program into a closed λB term and its type."""
+    program = parse_program(source)
+    return elaborate_program(program)
+
+
+def run_source(
+    source: str,
+    calculus: str = "S",
+    use_machine: bool = True,
+    fuel: int | None = None,
+) -> RunResult:
+    """Run a surface program and report its outcome."""
+    term, ty = compile_source(source)
+    return run_term(term, ty, calculus=calculus, use_machine=use_machine, fuel=fuel)
+
+
+def run_term(
+    term: Term,
+    ty: Type | None = None,
+    calculus: str = "S",
+    use_machine: bool = True,
+    fuel: int | None = None,
+) -> RunResult:
+    """Run an elaborated λB term on the chosen backend."""
+    calculus = calculus.upper()
+    if use_machine:
+        outcome = run_on_machine(term, calculus, fuel or 5_000_000)
+        if outcome.is_value:
+            return RunResult("value", outcome.python_value(), type=ty, calculus=calculus,
+                             space_stats=outcome.stats)
+        if outcome.is_blame:
+            return RunResult("blame", blame_label=outcome.label, type=ty, calculus=calculus,
+                             space_stats=outcome.stats)
+        return RunResult("timeout", type=ty, calculus=calculus, space_stats=outcome.stats)
+
+    step_fuel = fuel or 200_000
+    if calculus == "B":
+        outcome = reduction_b.run(term, step_fuel)
+    elif calculus == "C":
+        outcome = reduction_c.run(b_to_c(term), step_fuel)
+    elif calculus == "S":
+        outcome = reduction_s.run(c_to_s(b_to_c(term)), step_fuel)
+    else:
+        raise ValueError(f"unknown calculus {calculus!r}")
+    if outcome.is_value:
+        from ..core.terms import Const, erase
+
+        erased = erase(outcome.term)
+        value = erased.value if isinstance(erased, Const) else str(erased)
+        return RunResult("value", value, type=ty, calculus=calculus)
+    if outcome.is_blame:
+        return RunResult("blame", blame_label=outcome.label, type=ty, calculus=calculus)
+    return RunResult("timeout", type=ty, calculus=calculus)

@@ -1,0 +1,108 @@
+"""Tokenizer for the s-expression concrete syntax of the surface language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.errors import ParseError
+from .ast import SourceLocation
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source location."""
+
+    kind: str  # 'lparen' | 'rparen' | 'lbracket' | 'rbracket' | 'int' | 'string' | 'symbol' | 'bool'
+    text: str
+    location: SourceLocation
+
+
+_DELIMITERS = {"(": "lparen", ")": "rparen", "[": "lbracket", "]": "rbracket"}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split a program into tokens, tracking line/column for blame labels."""
+    tokens: list[Token] = []
+    line, column = 1, 1
+    index = 0
+    length = len(source)
+
+    def location() -> SourceLocation:
+        return SourceLocation(line, column)
+
+    while index < length:
+        char = source[index]
+
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            column += 1
+            index += 1
+            continue
+        if char == ";":
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if char in _DELIMITERS:
+            tokens.append(Token(_DELIMITERS[char], char, location()))
+            column += 1
+            index += 1
+            continue
+        if char == '"':
+            start = location()
+            index += 1
+            column += 1
+            chars: list[str] = []
+            while index < length and source[index] != '"':
+                if source[index] == "\n":
+                    raise ParseError("unterminated string literal", start.line, start.column)
+                if source[index] == "\\" and index + 1 < length:
+                    escape = source[index + 1]
+                    chars.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(escape, escape))
+                    index += 2
+                    column += 2
+                    continue
+                chars.append(source[index])
+                index += 1
+                column += 1
+            if index >= length:
+                raise ParseError("unterminated string literal", start.line, start.column)
+            index += 1
+            column += 1
+            tokens.append(Token("string", "".join(chars), start))
+            continue
+
+        # Symbols, numbers, booleans.
+        start = location()
+        begin = index
+        while index < length and source[index] not in ' \t\r\n()[];"':
+            index += 1
+            column += 1
+        text = source[begin:index]
+        if not text:
+            raise ParseError(f"unexpected character {char!r}", start.line, start.column)
+        kind = _classify(text)
+        tokens.append(Token(kind, text, start))
+
+    return tokens
+
+
+def _classify(text: str) -> str:
+    if text in ("#t", "#f", "true", "false"):
+        return "bool"
+    if _is_integer(text):
+        return "int"
+    return "symbol"
+
+
+def _is_integer(text: str) -> bool:
+    body = text[1:] if text and text[0] in "+-" else text
+    return bool(body) and body.isdigit()
+
+
+def iter_tokens(source: str) -> Iterator[Token]:
+    yield from tokenize(source)

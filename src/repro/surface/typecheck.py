@@ -1,0 +1,41 @@
+"""Gradual type checking of surface programs (the static half of elaboration).
+
+These helpers answer "does this program type check, and at what type?"
+without committing to cast insertion; they are thin wrappers around
+:mod:`repro.surface.cast_insertion`, which performs checking and elaboration
+in a single pass (as is standard for the GTLC).
+"""
+
+from __future__ import annotations
+
+from ..core.env import EMPTY_ENV, TypeEnv
+from ..core.types import Type
+from .ast import Program, SurfaceExpr
+from .cast_insertion import ElaborationError, elaborate, elaborate_program
+
+
+def type_of_surface(expr: SurfaceExpr, env: TypeEnv = EMPTY_ENV) -> Type:
+    """The gradual type of a surface expression (raises on static type errors)."""
+    return elaborate(expr, env)[1]
+
+
+def type_of_program(program: Program, env: TypeEnv = EMPTY_ENV) -> Type:
+    """The gradual type of a whole program's main expression."""
+    return elaborate_program(program, env)[1]
+
+
+def well_typed_surface(expr: SurfaceExpr, env: TypeEnv = EMPTY_ENV) -> bool:
+    try:
+        elaborate(expr, env)
+        return True
+    except ElaborationError:
+        return False
+
+
+def static_errors(program: Program, env: TypeEnv = EMPTY_ENV) -> list[str]:
+    """All static type errors in a program (currently at most one is reported)."""
+    try:
+        elaborate_program(program, env)
+        return []
+    except ElaborationError as exc:
+        return [str(exc)]

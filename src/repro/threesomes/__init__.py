@@ -1,0 +1,33 @@
+"""Threesomes (labeled types) of Siek & Wadler (2010) — the §6.1 baseline."""
+
+from .compose import compose_labeled
+from .labeled_types import (
+    DYN_LABELED,
+    LArrow,
+    LBase,
+    LDyn,
+    LFail,
+    LProd,
+    LabeledType,
+    ground_of_labeled,
+    top_label,
+    with_top_label,
+)
+from .translate import coercion_of_labeled, labeled_of_cast, labeled_of_coercion
+
+__all__ = [
+    "compose_labeled",
+    "DYN_LABELED",
+    "LArrow",
+    "LBase",
+    "LDyn",
+    "LFail",
+    "LProd",
+    "LabeledType",
+    "ground_of_labeled",
+    "top_label",
+    "with_top_label",
+    "coercion_of_labeled",
+    "labeled_of_cast",
+    "labeled_of_coercion",
+]

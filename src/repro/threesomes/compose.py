@@ -1,0 +1,82 @@
+"""Threesome composition ``Q ∘ P`` (Siek & Wadler 2010, as recalled in §6.1).
+
+The paper reproduces the defining equations and remarks that "the correctness
+of these equations is not immediate ... perhaps the easiest way to validate
+the equations is to translate to coercions".  That is exactly what the test
+suite does: :func:`compose_labeled` below is checked against λS's ``#``
+through the representation maps of :mod:`repro.threesomes.translate`.
+
+Note on orientation: the paper writes ``Q ∘ P`` for "first ``P``, then ``Q``"
+(function-composition order).  :func:`compose_labeled` takes its arguments in
+*temporal* order — ``compose_labeled(P, Q)`` applies ``P`` first — so it
+corresponds to ``Q ∘ P`` and to λS's ``P # Q``.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import CoercionTypeError
+from .labeled_types import (
+    LArrow,
+    LBase,
+    LDyn,
+    LFail,
+    LProd,
+    LabeledType,
+    ground_of_labeled,
+    top_label,
+)
+
+
+def compose_labeled(first: LabeledType, second: LabeledType) -> LabeledType:
+    """The composition of two mediating labeled types (their ``second ∘ first``)."""
+    # ? is a unit on either side.
+    if isinstance(first, LDyn):
+        return second
+    if isinstance(second, LDyn):
+        return first
+
+    # A failure that has already happened absorbs whatever follows.
+    if isinstance(first, LFail):
+        return first
+
+    first_ground = ground_of_labeled(first)
+    first_label = top_label(first)
+
+    if isinstance(second, LFail):
+        if second.label is not None and first_ground != second.ground:
+            # The failure's own projection prefix fails first:  ⊥^{mHl} ∘ P^{Gp} = ⊥^{lGp}.
+            return LFail(second.label, first_ground, first_label)
+        # Grounds agree (or the failure needs no projection):  ⊥^{mGq} ∘ P^{Gp} = ⊥^{mGp}.
+        return LFail(second.fail_label, second.ground, first_label)
+
+    second_ground = ground_of_labeled(second)
+    second_label = top_label(second)
+
+    if first_ground != second_ground:
+        # The projection at the start of ``second`` fails:  Q^{Hm} ∘ P^{Gp} = ⊥^{mGp}.
+        if second_label is None:
+            raise CoercionTypeError(
+                f"ill-typed threesome composition: {first} then {second}"
+            )
+        return LFail(second_label, first_ground, first_label)
+
+    if isinstance(first, LBase) and isinstance(second, LBase):
+        # B^q ∘ B^p = B^p — the earlier projection is the one that can blame.
+        return LBase(first.base, first_label)
+
+    if isinstance(first, LArrow) and isinstance(second, LArrow):
+        # (P′ →^q Q′) ∘ (P →^p Q) = (P ∘ P′) →^p (Q′ ∘ Q)   (contravariant domain).
+        return LArrow(
+            compose_labeled(second.dom, first.dom),
+            compose_labeled(first.cod, second.cod),
+            first_label,
+        )
+
+    if isinstance(first, LProd) and isinstance(second, LProd):
+        return LProd(
+            compose_labeled(first.left, second.left),
+            compose_labeled(first.right, second.right),
+            first_label,
+        )
+
+    raise CoercionTypeError(f"ill-typed threesome composition: {first} then {second}")

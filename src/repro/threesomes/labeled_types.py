@@ -1,0 +1,149 @@
+"""Labeled types — the threesome representation of Siek & Wadler (2010), §6.1.
+
+A *threesome* ``⟨T ⇐P= S⟩`` factors a cast from ``S`` to ``T`` through a
+mediating *labeled type* ``P``::
+
+    p, q ::= l | ε                      (optional blame labels)
+    P, Q ::= B^p | P →^p Q | P ×^p Q | ? | ⊥^{lGp}
+
+The paper (Section 6.1) recalls that labeled types are in one-to-one
+correspondence with coercions in canonical form, and that their composition
+``Q ∘ P`` is the counterpart of λS's ``s # t`` — but that the labeled-type
+notation is hard to decode ("Wadler ... required several hours to puzzle out
+the meaning of his own notation").  This module implements the representation
+and the correspondence, so the two composition algorithms can be compared
+directly (see :mod:`repro.threesomes.compose` and the tests).
+
+Correspondence used here (following the paper's own glossary):
+
+* a projection prefix ``G?p ; …`` becomes a topmost optional label ``p``;
+* an injection suffix ``… ; G!`` is *not* recorded (it is recovered from the
+  threesome's target type);
+* ``⊥GpH`` becomes ``⊥^{pG}``; ``G?q ; ⊥GpH`` becomes ``⊥^{pGq}`` — the
+  failure's target ground ``H`` is likewise recovered from the target type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import CoercionTypeError
+from ..core.labels import Label
+from ..core.types import BaseType, Type, is_ground
+
+
+class LabeledType:
+    """Abstract base class of labeled types ``P, Q``."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        return labeled_to_str(self)
+
+    def __repr__(self) -> str:
+        return labeled_to_str(self)
+
+
+@dataclass(frozen=True, repr=False)
+class LDyn(LabeledType):
+    """The labeled type ``?``."""
+
+
+@dataclass(frozen=True, repr=False)
+class LBase(LabeledType):
+    """A base type with an optional topmost label, ``B^p``."""
+
+    base: BaseType
+    label: Optional[Label] = None
+
+
+@dataclass(frozen=True, repr=False)
+class LArrow(LabeledType):
+    """A function labeled type ``P →^p Q``."""
+
+    dom: LabeledType
+    cod: LabeledType
+    label: Optional[Label] = None
+
+
+@dataclass(frozen=True, repr=False)
+class LProd(LabeledType):
+    """A product labeled type ``P ×^p Q`` (extension, parallel to λS products)."""
+
+    left: LabeledType
+    right: LabeledType
+    label: Optional[Label] = None
+
+
+@dataclass(frozen=True, repr=False)
+class LFail(LabeledType):
+    """The failure labeled type ``⊥^{lGp}``.
+
+    ``fail_label`` is the label blamed when the failure fires (their ``l``),
+    ``ground`` the source ground type ``G``, and ``label`` the optional
+    topmost (projection) label ``p``.
+    """
+
+    fail_label: Label
+    ground: Type
+    label: Optional[Label] = None
+
+    def __post_init__(self) -> None:
+        if not is_ground(self.ground):
+            raise CoercionTypeError(f"⊥ requires a ground type, got {self.ground}")
+
+
+DYN_LABELED = LDyn()
+
+
+def top_label(p: LabeledType) -> Optional[Label]:
+    """The topmost optional label of a labeled type (``None`` for ``?``)."""
+    if isinstance(p, (LBase, LArrow, LProd, LFail)):
+        return p.label
+    return None
+
+
+def with_top_label(p: LabeledType, label: Optional[Label]) -> LabeledType:
+    """Replace the topmost optional label of a labeled type."""
+    if isinstance(p, LBase):
+        return LBase(p.base, label)
+    if isinstance(p, LArrow):
+        return LArrow(p.dom, p.cod, label)
+    if isinstance(p, LProd):
+        return LProd(p.left, p.right, label)
+    if isinstance(p, LFail):
+        return LFail(p.fail_label, p.ground, label)
+    raise CoercionTypeError(f"the labeled type {p} has no label position")
+
+
+def ground_of_labeled(p: LabeledType) -> Type:
+    """The ground type a (non-dynamic, non-failure) labeled type is compatible with."""
+    from ..core.types import GROUND_FUN, GROUND_PROD
+
+    if isinstance(p, LBase):
+        return p.base
+    if isinstance(p, LArrow):
+        return GROUND_FUN
+    if isinstance(p, LProd):
+        return GROUND_PROD
+    if isinstance(p, LFail):
+        return p.ground
+    raise CoercionTypeError("the dynamic labeled type has no ground type")
+
+
+def labeled_to_str(p: LabeledType) -> str:
+    def opt(label: Optional[Label]) -> str:
+        return f"^{label}" if label is not None else ""
+
+    if isinstance(p, LDyn):
+        return "?"
+    if isinstance(p, LBase):
+        return f"{p.base}{opt(p.label)}"
+    if isinstance(p, LArrow):
+        return f"({labeled_to_str(p.dom)} ->{opt(p.label)} {labeled_to_str(p.cod)})"
+    if isinstance(p, LProd):
+        return f"({labeled_to_str(p.left)} x{opt(p.label)} {labeled_to_str(p.right)})"
+    if isinstance(p, LFail):
+        return f"Bot[{p.fail_label},{p.ground}{opt(p.label)}]"
+    raise CoercionTypeError(f"unknown labeled type {p!r}")

@@ -1,0 +1,42 @@
+"""Translations between the three calculi (Figures 4 and 6).
+
+* ``|·|BC`` — :func:`repro.translate.b_to_c.term_to_lambda_c` (casts → coercions)
+* ``|·|CB`` — :func:`repro.translate.c_to_b.term_to_lambda_b` (coercions → cast sequences)
+* ``|·|CS`` — :func:`repro.translate.c_to_s.term_to_lambda_s` (coercions → canonical coercions)
+* ``|·|SC`` — :func:`repro.translate.s_to_c.term_to_lambda_c` (the inclusion)
+* ``|·|BS`` — :func:`repro.translate.b_to_s.term_to_lambda_s_from_b` (the composite)
+"""
+
+from .b_to_c import cast_to_coercion
+from .b_to_c import term_to_lambda_c as b_to_c
+from .b_to_s import cast_to_space
+from .b_to_s import term_to_lambda_s_from_b as b_to_s
+from .c_to_b import (
+    CastSpec,
+    apply_cast_sequence,
+    coercion_to_casts,
+    concat,
+    reverse_complement,
+)
+from .c_to_b import term_to_lambda_b as c_to_b
+from .c_to_s import coercion_to_space
+from .c_to_s import term_to_lambda_s as c_to_s
+from .s_to_c import space_to_coercion
+from .s_to_c import term_to_lambda_c as s_to_c
+
+__all__ = [
+    "cast_to_coercion",
+    "b_to_c",
+    "cast_to_space",
+    "b_to_s",
+    "CastSpec",
+    "apply_cast_sequence",
+    "coercion_to_casts",
+    "concat",
+    "reverse_complement",
+    "c_to_b",
+    "coercion_to_space",
+    "c_to_s",
+    "space_to_coercion",
+    "s_to_c",
+]

@@ -1,0 +1,29 @@
+"""The composite translation ``|·|BS = |·|CS ∘ |·|BC`` (Section 5.2).
+
+Used to prove (here: check) the Fundamental Property of Casts: if
+``A & B <:n C`` then ``|A ⇒p B|BS = |A ⇒p C|BS # |C ⇒p B|BS`` (Lemma 20),
+hence ``M : A ⇒p B`` is contextually equivalent to ``M : A ⇒p C ⇒p B``
+(Lemma 21).
+"""
+
+from __future__ import annotations
+
+from ..core.labels import Label
+from ..core.terms import Term
+from ..core.types import Type
+from ..lambda_s.coercions import SpaceCoercion
+from .b_to_c import cast_to_coercion, term_to_lambda_c
+from .c_to_s import coercion_to_space, term_to_lambda_s
+
+
+def cast_to_space(source: Type, label: Label, target: Type) -> SpaceCoercion:
+    """``|A ⇒p B|BS``: the canonical coercion of a cast."""
+    return coercion_to_space(cast_to_coercion(source, label, target))
+
+
+def term_to_lambda_s_from_b(term: Term) -> Term:
+    """``|M|BS``: translate a λB term all the way to λS."""
+    return term_to_lambda_s(term_to_lambda_c(term))
+
+
+btos = term_to_lambda_s_from_b

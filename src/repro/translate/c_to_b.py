@@ -1,0 +1,194 @@
+"""Translation from λC back to λB (Figure 4, ``|·|CB``): coercions to cast sequences.
+
+A single coercion may mention many blame labels while a cast carries exactly
+one, so a coercion translates to a *sequence* of casts ``Z``::
+
+    |id_A|   = []
+    |G!|     = [G ⇒• ?]
+    |G?p|    = [? ⇒p G]
+    |c → d|  = (Z̄_c → B) ++ (A' → Z_d)       where c→d : A→B ⇒ A'→B'
+    |c × d|  = (Z_c × B) ++ (A' × Z_d)        (extension; covariant, no complement)
+    |c ; d|  = Z_c ++ Z_d
+    |⊥GpH_{A⇒B}| = [A ⇒• G, G ⇒• ?, ? ⇒p H, H ⇒• B]
+
+where ``Z → B`` (resp. ``B → Z``) maps every type in the sequence to a
+function type, ``Z̄`` reverses the sequence and complements every label, and
+``•`` is the distinguished label of casts that can never allocate blame.
+
+Lemma 8 (checked behaviourally in the test suite): translating λC to λB and
+back again yields a term contextually equivalent to the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import TypeCheckError
+from ..core.labels import BULLET, Label
+from ..core.terms import Cast, Coerce, Term, map_children
+from ..core.types import DYN, FunType, ProdType, Type, compatible
+from ..lambda_c.coercions import (
+    Coercion,
+    Fail,
+    FunCoercion,
+    Identity,
+    Inject,
+    ProdCoercion,
+    Project,
+    Sequence,
+    coercion_source,
+    coercion_target,
+)
+
+
+@dataclass(frozen=True)
+class CastSpec:
+    """One element ``A ⇒p B`` of a cast sequence ``Z``."""
+
+    source: Type
+    label: Label
+    target: Type
+
+    def complement(self) -> "CastSpec":
+        """Swap source and target and complement the label (one step of ``Z̄``)."""
+        return CastSpec(self.target, self.label.complement(), self.source)
+
+
+CastSequence = tuple[CastSpec, ...]
+
+
+# ---------------------------------------------------------------------------
+# Sequence combinators (Figure 4, bottom)
+# ---------------------------------------------------------------------------
+
+
+def reverse_complement(seq: CastSequence) -> CastSequence:
+    """``Z̄``: reverse the sequence and complement all the blame labels."""
+    return tuple(spec.complement() for spec in reversed(seq))
+
+
+def arrow_right(seq: CastSequence, cod: Type) -> CastSequence:
+    """``Z → B``: map every type ``A_i`` in the sequence to ``A_i → B``."""
+    return tuple(
+        CastSpec(FunType(spec.source, cod), spec.label, FunType(spec.target, cod)) for spec in seq
+    )
+
+
+def arrow_left(dom: Type, seq: CastSequence) -> CastSequence:
+    """``B → Z``: map every type ``A_i`` in the sequence to ``B → A_i``."""
+    return tuple(
+        CastSpec(FunType(dom, spec.source), spec.label, FunType(dom, spec.target)) for spec in seq
+    )
+
+
+def prod_right(seq: CastSequence, right: Type) -> CastSequence:
+    """``Z × B``: map every type ``A_i`` to ``A_i × B``."""
+    return tuple(
+        CastSpec(ProdType(spec.source, right), spec.label, ProdType(spec.target, right))
+        for spec in seq
+    )
+
+
+def prod_left(left: Type, seq: CastSequence) -> CastSequence:
+    """``A × Z``: map every type ``B_i`` to ``A × B_i``."""
+    return tuple(
+        CastSpec(ProdType(left, spec.source), spec.label, ProdType(left, spec.target))
+        for spec in seq
+    )
+
+
+def concat(first: CastSequence, second: CastSequence) -> CastSequence:
+    """``Z ++ Z'``, checking that the sequences meet at the same type."""
+    if first and second and first[-1].target != second[0].source:
+        raise TypeCheckError(
+            f"cast sequences do not compose: {first[-1].target} vs {second[0].source}"
+        )
+    return first + second
+
+
+# ---------------------------------------------------------------------------
+# Coercions to cast sequences
+# ---------------------------------------------------------------------------
+
+
+def coercion_to_casts(c: Coercion) -> CastSequence:
+    """The cast sequence ``|c|CB`` of Figure 4."""
+    if isinstance(c, Identity):
+        return ()
+
+    if isinstance(c, Inject):
+        return (CastSpec(c.ground, BULLET, DYN),)
+
+    if isinstance(c, Project):
+        return (CastSpec(DYN, c.label, c.ground),)
+
+    if isinstance(c, FunCoercion):
+        source = coercion_source(c)
+        target = coercion_target(c)
+        if not isinstance(source, FunType) or not isinstance(target, FunType):
+            raise TypeCheckError(f"function coercion with non-function typing: {c}")
+        cod_of_source = source.cod  # B in  c→d : A→B ⇒ A'→B'
+        dom_of_target = target.dom  # A'
+        dom_part = arrow_right(reverse_complement(coercion_to_casts(c.dom)), cod_of_source)
+        cod_part = arrow_left(dom_of_target, coercion_to_casts(c.cod))
+        return concat(dom_part, cod_part)
+
+    if isinstance(c, ProdCoercion):
+        source = coercion_source(c)
+        target = coercion_target(c)
+        if not isinstance(source, ProdType) or not isinstance(target, ProdType):
+            raise TypeCheckError(f"product coercion with non-product typing: {c}")
+        left_part = prod_right(coercion_to_casts(c.left), source.right)
+        right_part = prod_left(target.left, coercion_to_casts(c.right))
+        return concat(left_part, right_part)
+
+    if isinstance(c, Sequence):
+        return concat(coercion_to_casts(c.first), coercion_to_casts(c.second))
+
+    if isinstance(c, Fail):
+        source = c.source if c.source is not None else c.source_ground
+        target = c.target if c.target is not None else c.target_ground
+        prefix = []
+        if source != c.source_ground:
+            prefix.append(CastSpec(source, BULLET, c.source_ground))
+        middle = [
+            CastSpec(c.source_ground, BULLET, DYN),
+            CastSpec(DYN, c.label, c.target_ground),
+        ]
+        suffix = []
+        if target != c.target_ground:
+            if compatible(c.target_ground, target):
+                suffix.append(CastSpec(c.target_ground, BULLET, target))
+            else:
+                # The informal target is not compatible with H; route through ?.
+                # These casts are never reached at run time (the projection to H
+                # has already allocated blame), they only keep the sequence
+                # well-typed.
+                suffix.append(CastSpec(c.target_ground, BULLET, DYN))
+                suffix.append(CastSpec(DYN, BULLET, target))
+        return tuple(prefix + middle + suffix)
+
+    raise TypeCheckError(f"unknown coercion node: {c!r}")
+
+
+def apply_cast_sequence(term: Term, seq: CastSequence) -> Term:
+    """Wrap ``term`` in the casts of ``seq``, innermost first."""
+    result = term
+    for spec in seq:
+        result = Cast(result, spec.source, spec.target, spec.label)
+    return result
+
+
+def term_to_lambda_b(term: Term) -> Term:
+    """Translate a λC term to λB by expanding every coercion into casts."""
+    if isinstance(term, Coerce):
+        subject = term_to_lambda_b(term.subject)
+        if not isinstance(term.coercion, Coercion):
+            raise TypeCheckError("the input to |·|CB must be a λC term")
+        return apply_cast_sequence(subject, coercion_to_casts(term.coercion))
+    if isinstance(term, Cast):
+        raise TypeCheckError("the input to |·|CB must be a λC term (no casts)")
+    return map_children(term, term_to_lambda_b)
+
+
+ctob = term_to_lambda_b

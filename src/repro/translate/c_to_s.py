@@ -1,0 +1,92 @@
+"""Translation from λC to λS (Figure 6, ``|·|CS``): normalise coercions.
+
+::
+
+    |id?|    = id?
+    |idι|    = idι
+    |id_{A→B}| = |id_A| → |id_B|
+    |id_{A×B}| = |id_A| × |id_B|
+    |G?p|    = G?p ; |id_G|
+    |G!|     = |id_G| ; G!
+    |c → d|  = |c| → |d|
+    |c × d|  = |c| × |d|
+    |c ; d|  = |c| # |d|
+    |⊥GpH|   = ⊥GpH
+
+The image of the translation is a coercion in canonical form; composition in
+the source maps to the composition operator ``#`` of Figure 5, which is what
+makes the translation both a normaliser and the bridge of the bisimulation of
+Proposition 16.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import TypeCheckError
+from ..core.terms import Cast, Coerce, Term, map_children
+from ..lambda_c.coercions import (
+    Coercion,
+    Fail,
+    FunCoercion,
+    Identity,
+    Inject,
+    ProdCoercion,
+    Project,
+    Sequence,
+)
+from ..lambda_s.coercions import (
+    FailS,
+    FunCo,
+    GroundCoercion,
+    Injection,
+    ProdCo,
+    Projection,
+    SpaceCoercion,
+    compose,
+    identity_for,
+)
+
+
+def coercion_to_space(c: Coercion) -> SpaceCoercion:
+    """The canonical coercion ``|c|CS`` of Figure 6."""
+    if isinstance(c, Identity):
+        return identity_for(c.type)
+
+    if isinstance(c, Project):
+        ground_identity = identity_for(c.ground)
+        if not isinstance(ground_identity, GroundCoercion):
+            raise TypeCheckError(f"identity at {c.ground} is not a ground coercion")
+        return Projection(c.ground, c.label, ground_identity)
+
+    if isinstance(c, Inject):
+        ground_identity = identity_for(c.ground)
+        if not isinstance(ground_identity, GroundCoercion):
+            raise TypeCheckError(f"identity at {c.ground} is not a ground coercion")
+        return Injection(ground_identity, c.ground)
+
+    if isinstance(c, FunCoercion):
+        return FunCo(coercion_to_space(c.dom), coercion_to_space(c.cod))
+
+    if isinstance(c, ProdCoercion):
+        return ProdCo(coercion_to_space(c.left), coercion_to_space(c.right))
+
+    if isinstance(c, Sequence):
+        return compose(coercion_to_space(c.first), coercion_to_space(c.second))
+
+    if isinstance(c, Fail):
+        return FailS(c.source_ground, c.label, c.target_ground, source=c.source, target=c.target)
+
+    raise TypeCheckError(f"unknown coercion node: {c!r}")
+
+
+def term_to_lambda_s(term: Term) -> Term:
+    """Translate a λC term to λS by normalising every coercion."""
+    if isinstance(term, Coerce):
+        if not isinstance(term.coercion, Coercion):
+            raise TypeCheckError("the input to |·|CS must be a λC term")
+        return Coerce(term_to_lambda_s(term.subject), coercion_to_space(term.coercion))
+    if isinstance(term, Cast):
+        raise TypeCheckError("the input to |·|CS must be a λC term (no casts)")
+    return map_children(term, term_to_lambda_s)
+
+
+ctos = term_to_lambda_s

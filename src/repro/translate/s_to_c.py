@@ -1,0 +1,66 @@
+"""The inclusion of λS into λC (``|·|SC``).
+
+Every space-efficient coercion *is* a coercion, so the translation simply
+re-expresses the canonical grammar with λC constructors.  Because this
+direction is an inclusion, full abstraction from λC to λS (Proposition 18)
+follows easily from the bisimulation of Proposition 16.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import TypeCheckError
+from ..core.terms import Cast, Coerce, Term, map_children
+from ..core.types import DYN
+from ..lambda_c.coercions import (
+    Coercion,
+    Fail,
+    FunCoercion,
+    Identity,
+    Inject,
+    ProdCoercion,
+    Project,
+    Sequence,
+)
+from ..lambda_s.coercions import (
+    FailS,
+    FunCo,
+    IdBase,
+    IdDyn,
+    Injection,
+    ProdCo,
+    Projection,
+    SpaceCoercion,
+)
+
+
+def space_to_coercion(s: SpaceCoercion) -> Coercion:
+    """Read a canonical coercion back as a λC coercion."""
+    if isinstance(s, IdDyn):
+        return Identity(DYN)
+    if isinstance(s, IdBase):
+        return Identity(s.base)
+    if isinstance(s, Projection):
+        return Sequence(Project(s.ground, s.label), space_to_coercion(s.body))
+    if isinstance(s, Injection):
+        return Sequence(space_to_coercion(s.body), Inject(s.ground))
+    if isinstance(s, FailS):
+        return Fail(s.source_ground, s.label, s.target_ground, source=s.source, target=s.target)
+    if isinstance(s, FunCo):
+        return FunCoercion(space_to_coercion(s.dom), space_to_coercion(s.cod))
+    if isinstance(s, ProdCo):
+        return ProdCoercion(space_to_coercion(s.left), space_to_coercion(s.right))
+    raise TypeCheckError(f"unknown canonical coercion: {s!r}")
+
+
+def term_to_lambda_c(term: Term) -> Term:
+    """Read a λS term back as a λC term."""
+    if isinstance(term, Coerce):
+        if not isinstance(term.coercion, SpaceCoercion):
+            raise TypeCheckError("the input to |·|SC must be a λS term")
+        return Coerce(term_to_lambda_c(term.subject), space_to_coercion(term.coercion))
+    if isinstance(term, Cast):
+        raise TypeCheckError("the input to |·|SC must be a λS term (no casts)")
+    return map_children(term, term_to_lambda_c)
+
+
+stoc = term_to_lambda_c

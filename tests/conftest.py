@@ -1,0 +1,38 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# A single moderate profile: the generators build whole programs, so a few
+# hundred examples per property is plenty and keeps the suite fast.
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A seeded random source for reproducible randomised tests."""
+    return random.Random(20150613)  # PLDI 2015, June 13
+
+
+@pytest.fixture
+def label_p():
+    from repro.core import label
+
+    return label("p")
+
+
+@pytest.fixture
+def label_q():
+    from repro.core import label
+
+    return label("q")

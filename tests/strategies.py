@@ -1,0 +1,97 @@
+"""Hypothesis strategies for types, labels, coercions, and terms."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.core.labels import Label
+from repro.core.types import BOOL, DYN, INT, FunType, ProdType
+from repro.gen.coercions_gen import (
+    random_coercion,
+    random_composable_space_pair,
+    random_space_coercion,
+)
+from repro.gen.terms_gen import TermGenerator
+from repro.gen.types_gen import random_compatible_type, random_type
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+base_types = st.sampled_from([INT, BOOL, DYN])
+
+
+def types(max_depth: int = 3, products: bool = True):
+    """Structural strategy for types."""
+    leaves = st.sampled_from([INT, BOOL, DYN])
+
+    def extend(children):
+        branches = [st.builds(FunType, children, children)]
+        if products:
+            branches.append(st.builds(ProdType, children, children))
+        return st.one_of(*branches)
+
+    return st.recursive(leaves, extend, max_leaves=2 ** max_depth)
+
+
+labels = st.builds(
+    Label,
+    st.sampled_from(["p", "q", "r", "s1", "s2"]),
+    st.booleans(),
+)
+
+positive_labels = st.builds(Label, st.sampled_from(["p", "q", "r"]), st.just(True))
+
+
+@st.composite
+def compatible_type_pairs(draw, max_depth: int = 3):
+    """A pair of compatible types (valid as a cast's source and target)."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = random.Random(seed)
+    source = random_type(rng, max_depth)
+    target = random_compatible_type(rng, source, max_depth)
+    return source, target
+
+
+# ---------------------------------------------------------------------------
+# Coercions
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def lambda_c_coercions(draw, length: int = 3, depth: int = 3):
+    """A random well-typed λC coercion with its source and target types."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = random.Random(seed)
+    return random_coercion(rng, length=length, depth=depth)
+
+
+@st.composite
+def space_coercions(draw, length: int = 3, depth: int = 3):
+    """A random canonical coercion with its source and target types."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = random.Random(seed)
+    return random_space_coercion(rng, length=length, depth=depth)
+
+
+@st.composite
+def composable_space_coercions(draw, length: int = 2, depth: int = 3):
+    """Two canonical coercions s : A ⇒ B and t : B ⇒ C."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = random.Random(seed)
+    return random_composable_space_pair(rng, length=length, depth=depth)
+
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def lambda_b_programs(draw, max_depth: int = 4):
+    """A random closed well-typed λB program together with its type."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    generator = TermGenerator(random.Random(seed), max_depth=max_depth)
+    return generator.program()

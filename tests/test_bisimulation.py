@@ -1,0 +1,122 @@
+"""Tests for the bisimulations between the calculi (Propositions 11 and 16)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.core.labels import label
+from repro.core.terms import App, Cast, Lam, Op, Var, const_int
+from repro.core.types import BOOL, DYN, INT, FunType
+from repro.gen.programs import (
+    even_odd_boundary,
+    fib_boundary,
+    pair_boundary_swap,
+    safe_boundary_program,
+    twice_boundary,
+    typed_loop_untyped_step,
+    untyped_client_bad_argument,
+    untyped_library_bad_result,
+)
+from repro.properties.bisimulation import (
+    check_lockstep_b_c,
+    check_outcomes_b_c_s,
+    check_outcomes_c_s,
+)
+from repro.translate.b_to_c import term_to_lambda_c
+
+from .strategies import lambda_b_programs
+
+P = label("p")
+Q = label("q")
+
+
+class TestLockstepBisimulation:
+    """Proposition 11: λB and λC run in lockstep under |·|BC."""
+
+    def test_first_order_round_trip(self):
+        term = Cast(Cast(const_int(1), INT, DYN, P), DYN, INT, Q)
+        assert check_lockstep_b_c(term)
+
+    def test_failing_round_trip(self):
+        term = Cast(Cast(const_int(1), INT, DYN, P), DYN, BOOL, Q)
+        assert check_lockstep_b_c(term)
+
+    def test_higher_order_proxy(self):
+        double = Lam("x", INT, Op("*", (Var("x"), const_int(2))))
+        proxied = Cast(Cast(double, FunType(INT, INT), DYN, P), DYN, FunType(INT, INT), Q)
+        assert check_lockstep_b_c(App(proxied, const_int(5)))
+
+    def test_factoring_steps_match(self):
+        term = Cast(Lam("x", INT, Var("x")), FunType(INT, INT), DYN, P)
+        assert check_lockstep_b_c(App(Cast(term, DYN, FunType(INT, INT), Q), const_int(1)))
+
+    @given(lambda_b_programs())
+    def test_lockstep_on_generated_programs(self, program):
+        term, _ = program
+        report = check_lockstep_b_c(term, fuel=4_000)
+        assert report.ok, report.reason
+
+    def test_lockstep_on_the_boundary_workloads(self):
+        for program in (
+            even_odd_boundary(5),
+            typed_loop_untyped_step(3),
+            twice_boundary(2),
+            untyped_library_bad_result(),
+            untyped_client_bad_argument(),
+            safe_boundary_program(),
+            pair_boundary_swap(),
+        ):
+            report = check_lockstep_b_c(program, fuel=4_000)
+            assert report.ok, report.reason
+
+
+class TestOutcomeBisimulationCS:
+    """Proposition 16: λC and λS agree observationally (not lockstep)."""
+
+    def test_round_trips(self):
+        for term_b in (
+            Cast(Cast(const_int(1), INT, DYN, P), DYN, INT, Q),
+            Cast(Cast(const_int(1), INT, DYN, P), DYN, BOOL, Q),
+        ):
+            report = check_outcomes_c_s(term_to_lambda_c(term_b))
+            assert report.ok, report.reason
+
+    def test_step_counts_differ_but_outcomes_agree(self):
+        term_b = even_odd_boundary(6)
+        report = check_outcomes_c_s(term_to_lambda_c(term_b))
+        assert report.ok
+        # λS takes extra merge steps; λC takes extra composition-splitting steps.
+        assert report.steps_left != 0 and report.steps_right != 0
+
+    @given(lambda_b_programs())
+    def test_outcomes_on_generated_programs(self, program):
+        term, _ = program
+        report = check_outcomes_c_s(term_to_lambda_c(term), fuel=30_000)
+        assert report.ok, report.reason
+
+    def test_outcomes_on_the_boundary_workloads(self):
+        for program in (
+            even_odd_boundary(8),
+            typed_loop_untyped_step(4),
+            fib_boundary(6),
+            twice_boundary(3),
+            untyped_library_bad_result(),
+            untyped_client_bad_argument(),
+            pair_boundary_swap(),
+        ):
+            report = check_outcomes_c_s(term_to_lambda_c(program), fuel=60_000)
+            assert report.ok, report.reason
+
+
+class TestThreeWayAgreement:
+    @given(lambda_b_programs())
+    @settings(max_examples=30)
+    def test_all_three_calculi_agree_on_generated_programs(self, program):
+        term, _ = program
+        report = check_outcomes_b_c_s(term, fuel=30_000)
+        assert report.ok, report.reason
+
+    def test_all_three_calculi_agree_on_blame_scenarios(self):
+        for program in (untyped_library_bad_result(), untyped_client_bad_argument()):
+            report = check_outcomes_b_c_s(program, fuel=10_000)
+            assert report.ok, report.reason

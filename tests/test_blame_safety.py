@@ -1,0 +1,105 @@
+"""Tests for Proposition 5 (blame safety) and Lemma 9 (subtyping vs coercion safety)."""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given
+
+from repro.core.labels import label
+from repro.core.subtyping import subtype_neg, subtype_pos
+from repro.core.types import all_types, compatible
+from repro.gen.programs import (
+    even_odd_boundary,
+    safe_boundary_program,
+    twice_boundary,
+    untyped_client_bad_argument,
+    untyped_library_bad_result,
+)
+from repro.lambda_c.coercions import coercion_safe_for
+from repro.properties.blame_safety import check_blame_safety, labels_in_term
+from repro.properties.calculi import LAMBDA_B, LAMBDA_C, LAMBDA_S
+from repro.translate import b_to_c, b_to_s
+from repro.translate.b_to_c import cast_to_coercion
+
+from .strategies import compatible_type_pairs, lambda_b_programs
+
+P = label("p")
+
+SMALL_TYPES = all_types(3)
+
+
+class TestLemma9:
+    """A <:+ B iff |A ⇒p B|BC is safe for p; A <:− B iff it is safe for p̄."""
+
+    def test_exhaustive_on_small_types(self):
+        for a, b in itertools.product(SMALL_TYPES, repeat=2):
+            if not compatible(a, b):
+                continue
+            coercion = cast_to_coercion(a, P, b)
+            assert subtype_pos(a, b) == coercion_safe_for(coercion, P), (a, b)
+            assert subtype_neg(a, b) == coercion_safe_for(coercion, P.complement()), (a, b)
+
+    def test_exhaustive_with_products(self):
+        for a, b in itertools.product(all_types(2, include_products=True), repeat=2):
+            if not compatible(a, b):
+                continue
+            coercion = cast_to_coercion(a, P, b)
+            assert subtype_pos(a, b) == coercion_safe_for(coercion, P), (a, b)
+            assert subtype_neg(a, b) == coercion_safe_for(coercion, P.complement()), (a, b)
+
+    @given(compatible_type_pairs(max_depth=4))
+    def test_random_type_pairs(self, pair):
+        a, b = pair
+        coercion = cast_to_coercion(a, P, b)
+        assert subtype_pos(a, b) == coercion_safe_for(coercion, P)
+        assert subtype_neg(a, b) == coercion_safe_for(coercion, P.complement())
+
+
+class TestProposition5:
+    @given(lambda_b_programs())
+    def test_lambda_b(self, program):
+        term, _ = program
+        report = check_blame_safety(LAMBDA_B, term)
+        assert report.ok, report.reason
+
+    @given(lambda_b_programs())
+    def test_lambda_c(self, program):
+        term, _ = program
+        report = check_blame_safety(LAMBDA_C, b_to_c(term))
+        assert report.ok, report.reason
+
+    @given(lambda_b_programs())
+    def test_lambda_s(self, program):
+        term, _ = program
+        report = check_blame_safety(LAMBDA_S, b_to_s(term))
+        assert report.ok, report.reason
+
+    def test_workloads_in_every_calculus(self):
+        programs = [
+            even_odd_boundary(5),
+            twice_boundary(3),
+            untyped_library_bad_result(),
+            untyped_client_bad_argument(),
+            safe_boundary_program(),
+        ]
+        for program in programs:
+            assert check_blame_safety(LAMBDA_B, program, fuel=3_000).ok
+            assert check_blame_safety(LAMBDA_C, b_to_c(program), fuel=3_000).ok
+            assert check_blame_safety(LAMBDA_S, b_to_s(program), fuel=6_000).ok
+
+    def test_the_blamed_label_is_always_statically_unsafe(self):
+        """The contrapositive reading of "well-typed programs can't be blamed"."""
+        from repro.lambda_b.reduction import run
+        from repro.lambda_b.safety import term_safe_for
+
+        for program in (untyped_library_bad_result(), untyped_client_bad_argument()):
+            outcome = run(program)
+            assert outcome.is_blame
+            assert not term_safe_for(program, outcome.label)
+
+    def test_labels_in_term_collects_complements(self):
+        term = untyped_library_bad_result("edge")
+        labels = labels_in_term(term)
+        assert label("edge") in labels
+        assert label("edge").complement() in labels

@@ -1,0 +1,109 @@
+"""Tests for the ``repro-gradual`` command-line interface."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples" / "programs"
+
+
+@pytest.fixture
+def square_program(tmp_path: Path) -> str:
+    path = tmp_path / "square.grad"
+    path.write_text("(define (square [x : int]) : int (* x x))\n(square (: 6 ?))\n")
+    return str(path)
+
+
+@pytest.fixture
+def blame_program(tmp_path: Path) -> str:
+    path = tmp_path / "blame.grad"
+    path.write_text("(define lib : ? (lambda (x) #t))\n(+ 1 ((: lib (-> int int)) 3))\n")
+    return str(path)
+
+
+@pytest.fixture
+def ill_typed_program(tmp_path: Path) -> str:
+    path = tmp_path / "bad.grad"
+    path.write_text("(+ 1 #t)\n")
+    return str(path)
+
+
+class TestRunCommand:
+    def test_run_converging_program(self, square_program, capsys):
+        assert main(["run", square_program]) == 0
+        out = capsys.readouterr().out
+        assert "36" in out
+
+    def test_run_on_each_calculus(self, square_program, capsys):
+        for calculus in ("B", "C", "S"):
+            assert main(["run", square_program, "--calculus", calculus]) == 0
+        assert "36" in capsys.readouterr().out
+
+    def test_run_small_step_backend(self, square_program, capsys):
+        assert main(["run", square_program, "--small-step"]) == 0
+        assert "36" in capsys.readouterr().out
+
+    def test_run_blaming_program_returns_nonzero(self, blame_program, capsys):
+        assert main(["run", blame_program]) == 1
+        assert "blame" in capsys.readouterr().out
+
+    def test_show_space(self, square_program, capsys):
+        assert main(["run", square_program, "--show-space"]) == 0
+        out = capsys.readouterr().out
+        assert "pending-mediators" in out
+
+    def test_missing_file_is_reported(self, capsys):
+        assert main(["run", "no-such-file.grad"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_static_error_is_reported(self, ill_typed_program, capsys):
+        assert main(["run", ill_typed_program]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_check_well_typed(self, square_program, capsys):
+        assert main(["check", square_program]) == 0
+        assert "well typed" in capsys.readouterr().out
+
+    def test_check_ill_typed(self, ill_typed_program, capsys):
+        assert main(["check", ill_typed_program]) == 1
+        assert "static type error" in capsys.readouterr().out
+
+    def test_translate_to_each_calculus(self, square_program, capsys):
+        assert main(["translate", square_program, "--to", "b"]) == 0
+        assert "=>" in capsys.readouterr().out
+        assert main(["translate", square_program, "--to", "c"]) == 0
+        assert "<" in capsys.readouterr().out
+        assert main(["translate", square_program, "--to", "s"]) == 0
+        assert "<" in capsys.readouterr().out
+
+    def test_space_experiment(self, capsys):
+        assert main(["space", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "calculus" in out and " B " not in ""  # table printed
+        assert "31" in out  # λB pending frames for n=30
+
+    def test_parser_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestShippedExamplePrograms:
+    def test_square_example(self, capsys):
+        assert main(["run", str(EXAMPLES / "square.grad")]) == 0
+        assert "49" in capsys.readouterr().out
+
+    def test_blame_example(self, capsys):
+        assert main(["run", str(EXAMPLES / "boundary_blame.grad")]) == 1
+        assert "blame" in capsys.readouterr().out
+
+    def test_tail_loop_example_is_space_bounded_on_s(self, capsys):
+        assert main(["run", str(EXAMPLES / "tail_loop.grad"), "--calculus", "S", "--show-space"]) == 0
+        out = capsys.readouterr().out
+        line = [l for l in out.splitlines() if "pending-mediators" in l][0]
+        assert "max=2" in line or "max=1" in line or "max=3" in line

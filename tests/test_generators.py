@@ -1,0 +1,120 @@
+"""Tests for the random generators themselves (they underpin every property test)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.types import DYN, compatible
+from repro.gen.coercions_gen import (
+    random_coercion,
+    random_composable_space_pair,
+    random_space_coercion,
+    random_structural_coercion,
+)
+from repro.gen.terms_gen import TermGenerator, random_lambda_b_term, random_programs
+from repro.gen.types_gen import (
+    random_cast_path,
+    random_compatible_type,
+    random_type,
+    random_type_pair,
+)
+from repro.lambda_b.syntax import casts_in
+from repro.lambda_b.typecheck import type_of
+from repro.lambda_c.coercions import check_coercion
+from repro.lambda_s.coercions import check_space_coercion
+
+
+class TestTypeGenerators:
+    def test_random_types_respect_the_depth_bound(self):
+        rng = random.Random(1)
+        from repro.core.types import type_height
+
+        for _ in range(200):
+            assert type_height(random_type(rng, depth=3)) <= 3
+
+    def test_random_compatible_types_are_compatible(self):
+        rng = random.Random(2)
+        for _ in range(200):
+            ty = random_type(rng, 3)
+            other = random_compatible_type(rng, ty, 3)
+            assert compatible(ty, other)
+
+    def test_random_type_pairs(self):
+        rng = random.Random(3)
+        for _ in range(100):
+            a, b = random_type_pair(rng)
+            assert compatible(a, b)
+
+    def test_cast_paths_chain_compatibly(self):
+        rng = random.Random(4)
+        path = random_cast_path(rng, 6)
+        assert len(path) == 7
+        for a, b in zip(path, path[1:]):
+            assert compatible(a, b)
+
+    def test_cast_path_respects_start(self):
+        rng = random.Random(5)
+        path = random_cast_path(rng, 3, start=DYN)
+        assert path[0] == DYN
+
+    def test_generation_is_reproducible_from_the_seed(self):
+        assert random_type(random.Random(42), 3) == random_type(random.Random(42), 3)
+
+
+class TestCoercionGenerators:
+    def test_random_coercions_type_check(self):
+        rng = random.Random(6)
+        for _ in range(100):
+            coercion, source, target = random_coercion(rng)
+            assert check_coercion(coercion, source) == target
+
+    def test_random_structural_coercions_type_check(self):
+        rng = random.Random(7)
+        for _ in range(60):
+            coercion, source, target = random_structural_coercion(rng)
+            assert check_coercion(coercion, source) == target
+
+    def test_random_space_coercions_type_check(self):
+        from repro.core.types import UnknownType, types_equal
+
+        rng = random.Random(8)
+        for _ in range(100):
+            coercion, source, target = random_space_coercion(rng)
+            result = check_space_coercion(coercion, source)
+            assert isinstance(result, UnknownType) or types_equal(result, target)
+
+    def test_composable_pairs_share_the_middle_type(self):
+        from repro.lambda_s.coercions import compose
+
+        rng = random.Random(9)
+        for _ in range(60):
+            s, t, source, middle, target = random_composable_space_pair(rng)
+            compose(s, t)  # must not raise
+
+
+class TestTermGenerators:
+    def test_generated_terms_are_closed_and_well_typed(self):
+        for seed in range(30):
+            term = random_lambda_b_term(seed)
+            type_of(term)
+
+    def test_generated_terms_contain_casts_often_enough(self):
+        with_casts = sum(1 for seed in range(40) if casts_in(random_lambda_b_term(seed)))
+        assert with_casts > 20
+
+    def test_random_programs_report_their_types(self):
+        from repro.core.types import types_equal
+
+        for term, ty in random_programs(seed=11, count=20):
+            assert types_equal(type_of(term), ty)
+
+    def test_requested_type_is_honoured(self):
+        from repro.core.types import BOOL, FunType, INT
+
+        generator = TermGenerator(random.Random(12))
+        ty = FunType(INT, BOOL)
+        term = generator.term(ty)
+        assert type_of(term) == ty
+
+    def test_reproducibility(self):
+        assert random_lambda_b_term(99) == random_lambda_b_term(99)

@@ -1,0 +1,192 @@
+"""Tests for λC coercions (Figure 3): typing, height, safety, construction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.core.errors import CoercionTypeError
+from repro.core.labels import label
+from repro.core.types import BOOL, DYN, GROUND_FUN, INT, FunType, ProdType, UnknownType
+from repro.lambda_c.coercions import (
+    Fail,
+    FunCoercion,
+    Identity,
+    Inject,
+    ProdCoercion,
+    Project,
+    Sequence,
+    check_coercion,
+    coercion_safe_for,
+    coercion_source,
+    coercion_target,
+    height,
+    labels_of,
+    sequence,
+    size,
+    subcoercions,
+    well_formed,
+)
+
+from .strategies import lambda_c_coercions
+
+P = label("p")
+Q = label("q")
+
+
+class TestConstruction:
+    def test_injection_requires_a_ground_type(self):
+        Inject(INT)
+        Inject(GROUND_FUN)
+        with pytest.raises(CoercionTypeError):
+            Inject(FunType(INT, INT))
+
+    def test_projection_requires_a_ground_type(self):
+        Project(INT, P)
+        with pytest.raises(CoercionTypeError):
+            Project(FunType(INT, INT), P)
+
+    def test_fail_requires_distinct_ground_types(self):
+        Fail(INT, P, BOOL)
+        with pytest.raises(CoercionTypeError):
+            Fail(INT, P, INT)
+        with pytest.raises(CoercionTypeError):
+            Fail(FunType(INT, INT), P, BOOL)
+
+    def test_fail_equality_ignores_annotations(self):
+        assert Fail(INT, P, BOOL, source=INT, target=BOOL) == Fail(INT, P, BOOL)
+        assert Fail(INT, P, BOOL) != Fail(INT, Q, BOOL)
+
+    def test_sequence_helper(self):
+        chained = sequence(Inject(INT), Project(INT, P))
+        assert chained == Sequence(Inject(INT), Project(INT, P))
+        assert sequence(Inject(INT)) == Inject(INT)
+
+
+class TestTyping:
+    def test_identity(self):
+        assert coercion_source(Identity(INT)) == INT
+        assert coercion_target(Identity(INT)) == INT
+        assert check_coercion(Identity(INT), INT) == INT
+
+    def test_injection_and_projection(self):
+        assert check_coercion(Inject(INT), INT) == DYN
+        assert check_coercion(Project(BOOL, P), DYN) == BOOL
+        assert coercion_source(Project(BOOL, P)) == DYN
+
+    def test_injection_rejects_wrong_source(self):
+        with pytest.raises(CoercionTypeError):
+            check_coercion(Inject(INT), BOOL)
+
+    def test_projection_rejects_non_dyn_source(self):
+        with pytest.raises(CoercionTypeError):
+            check_coercion(Project(INT, P), INT)
+
+    def test_function_coercion_contravariance(self):
+        # c : ? ⇒ int (projection), d : int ⇒ ? (injection)
+        c = Project(INT, P)
+        d = Inject(INT)
+        fun = FunCoercion(c, d)
+        # c → d : int→int ⇒ ?→?
+        assert check_coercion(fun, FunType(INT, INT)) == GROUND_FUN
+        assert coercion_source(fun) == FunType(INT, INT)
+        assert coercion_target(fun) == GROUND_FUN
+
+    def test_function_coercion_rejects_mismatch(self):
+        fun = FunCoercion(Project(INT, P), Inject(INT))
+        with pytest.raises(CoercionTypeError):
+            check_coercion(fun, FunType(BOOL, INT))
+
+    def test_product_coercion_covariance(self):
+        prod = ProdCoercion(Inject(INT), Inject(BOOL))
+        assert check_coercion(prod, ProdType(INT, BOOL)) == ProdType(DYN, DYN)
+
+    def test_sequence_typing(self):
+        seq = Sequence(Inject(INT), Project(INT, P))
+        assert check_coercion(seq, INT) == INT
+        bad = Sequence(Inject(INT), Project(INT, P))
+        with pytest.raises(CoercionTypeError):
+            check_coercion(bad, BOOL)
+
+    def test_fail_typing(self):
+        fail = Fail(INT, P, BOOL, source=INT, target=BOOL)
+        assert check_coercion(fail, INT) == BOOL
+        with pytest.raises(CoercionTypeError):
+            check_coercion(fail, DYN)
+        unannotated = Fail(INT, P, BOOL)
+        assert isinstance(check_coercion(unannotated, INT), UnknownType)
+
+    def test_well_formed(self):
+        assert well_formed(Sequence(Inject(INT), Project(INT, P)))
+        # A mismatched projection is still *statically* fine (it fails at run time)...
+        assert well_formed(Sequence(Inject(INT), Project(BOOL, P)))
+        # ...but a sequence whose middle types disagree is not.
+        assert not well_formed(Sequence(Inject(INT), Inject(BOOL)))
+
+    @given(lambda_c_coercions())
+    def test_generated_coercions_are_well_typed(self, generated):
+        coercion, source, target = generated
+        assert check_coercion(coercion, source) == target
+
+
+class TestHeightAndSize:
+    def test_primitive_heights_are_one(self):
+        for c in (Identity(INT), Inject(INT), Project(INT, P), Fail(INT, P, BOOL)):
+            assert height(c) == 1
+
+    def test_function_coercion_increases_height(self):
+        fun = FunCoercion(Project(INT, P), Inject(INT))
+        assert height(fun) == 2
+        assert height(FunCoercion(fun, fun)) == 3
+
+    def test_composition_does_not_increase_height(self):
+        fun = FunCoercion(Project(INT, P), Inject(INT))
+        assert height(Sequence(fun, fun)) == height(fun)
+
+    def test_size_counts_constructors(self):
+        fun = FunCoercion(Project(INT, P), Inject(INT))
+        assert size(fun) == 3
+        assert size(Sequence(fun, Identity(GROUND_FUN))) == 5
+
+    @given(lambda_c_coercions())
+    def test_height_is_at_most_size(self, generated):
+        coercion, _, _ = generated
+        assert height(coercion) <= size(coercion)
+
+
+class TestSafety:
+    def test_identity_and_injection_are_safe_for_everything(self):
+        assert coercion_safe_for(Identity(INT), P)
+        assert coercion_safe_for(Inject(INT), P)
+
+    def test_projection_mentions_its_label(self):
+        assert not coercion_safe_for(Project(INT, P), P)
+        assert coercion_safe_for(Project(INT, P), Q)
+        assert coercion_safe_for(Project(INT, P), P.complement())
+
+    def test_fail_mentions_its_label(self):
+        assert not coercion_safe_for(Fail(INT, P, BOOL), P)
+        assert coercion_safe_for(Fail(INT, P, BOOL), Q)
+
+    def test_safety_is_structural(self):
+        c = Sequence(FunCoercion(Project(INT, P), Inject(INT)), Identity(GROUND_FUN))
+        assert not coercion_safe_for(c, P)
+        assert coercion_safe_for(c, Q)
+
+    def test_labels_of(self):
+        c = Sequence(Project(INT, P), Sequence(Inject(INT), Project(BOOL, Q)))
+        assert labels_of(c) == {P, Q}
+
+    def test_subcoercions_enumerates_everything(self):
+        c = Sequence(FunCoercion(Project(INT, P), Inject(INT)), Identity(GROUND_FUN))
+        nodes = list(subcoercions(c))
+        assert len(nodes) == 5
+
+
+class TestPrettyPrinting:
+    def test_rendering(self):
+        assert "int!" in str(Inject(INT))
+        assert "?p" in str(Project(INT, P))
+        assert "->" in str(FunCoercion(Identity(INT), Identity(INT)))
+        assert ";" in str(Sequence(Identity(INT), Identity(INT)))
+        assert "Fail" in str(Fail(INT, P, BOOL))

@@ -1,0 +1,110 @@
+"""Tests for the primitive operators and their total meaning functions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import EvaluationError, TypeCheckError
+from repro.core.ops import OPS, check_constant, constant_type, op_exists, op_spec
+from repro.core.types import BOOL, INT, STR, UNIT
+
+
+class TestRegistry:
+    def test_known_operators_exist(self):
+        for name in ("+", "-", "*", "/", "%", "=", "<", "zero?", "not", "and", "or"):
+            assert op_exists(name)
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(TypeCheckError):
+            op_spec("frobnicate")
+
+    def test_specs_have_consistent_arity(self):
+        for name, spec in OPS.items():
+            assert spec.arity == len(spec.arg_types), name
+
+    def test_every_result_type_is_a_base_type(self):
+        for spec in OPS.values():
+            assert spec.result_type in (INT, BOOL, STR, UNIT)
+
+
+class TestMeaningFunctions:
+    @pytest.mark.parametrize(
+        "op, args, expected",
+        [
+            ("+", (2, 3), 5),
+            ("-", (2, 3), -1),
+            ("*", (4, 5), 20),
+            ("/", (7, 2), 3),
+            ("%", (7, 2), 1),
+            ("neg", (5,), -5),
+            ("abs", (-5,), 5),
+            ("min", (2, 9), 2),
+            ("max", (2, 9), 9),
+            ("inc", (41,), 42),
+            ("dec", (43,), 42),
+            ("=", (3, 3), True),
+            ("<", (2, 3), True),
+            ("<=", (3, 3), True),
+            (">", (2, 3), False),
+            (">=", (2, 3), False),
+            ("zero?", (0,), True),
+            ("zero?", (1,), False),
+            ("even?", (4,), True),
+            ("odd?", (4,), False),
+            ("not", (True,), False),
+            ("and", (True, False), False),
+            ("or", (True, False), True),
+            ("bool=", (True, True), True),
+            ("string-append", ("ab", "cd"), "abcd"),
+            ("string-length", ("hello",), 5),
+            ("string=", ("a", "a"), True),
+            ("int->string", (42,), "42"),
+        ],
+    )
+    def test_meaning(self, op, args, expected):
+        assert op_spec(op).apply(args) == expected
+
+    def test_division_by_zero_is_total(self):
+        assert op_spec("/").apply((5, 0)) == 0
+        assert op_spec("%").apply((5, 0)) == 0
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_arithmetic_preserves_int(self, a, b):
+        """Type preservation of meaning functions: op : int×int → int."""
+        for op in ("+", "-", "*", "/", "%", "min", "max"):
+            assert isinstance(op_spec(op).apply((a, b)), int)
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_comparisons_produce_bools(self, a, b):
+        for op in ("=", "<", "<=", ">", ">="):
+            assert isinstance(op_spec(op).apply((a, b)), bool)
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(EvaluationError):
+            op_spec("+").apply((1,))
+
+    def test_unit_operator(self):
+        assert op_spec("unit").apply(()) is None
+
+
+class TestConstants:
+    def test_constant_types(self):
+        assert constant_type(3) == INT
+        assert constant_type(True) == BOOL
+        assert constant_type("x") == STR
+        assert constant_type(None) == UNIT
+
+    def test_bool_is_not_an_int_constant(self):
+        # Python bools are ints; the type assignment must pick bool first.
+        assert constant_type(True) == BOOL
+
+    def test_unsupported_constant(self):
+        with pytest.raises(TypeCheckError):
+            constant_type(3.14)
+
+    def test_check_constant(self):
+        assert check_constant(3, INT)
+        assert not check_constant(3, BOOL)
+        assert not check_constant(object(), INT)

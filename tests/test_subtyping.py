@@ -1,0 +1,263 @@
+"""Tests for Figure 2: the four subtyping relations, the Tangram lemma, meet, and safe casts."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+
+from repro.core.labels import label
+from repro.core.subtyping import (
+    BOT,
+    cast_safe_for,
+    contains_bottom,
+    gradual_meet,
+    join,
+    meet,
+    subtype,
+    subtype_naive,
+    subtype_neg,
+    subtype_pos,
+    tangram_naive,
+    tangram_subtype,
+)
+from repro.core.types import BOOL, DYN, INT, FunType, ProdType, all_types
+
+from .strategies import types
+
+SMALL_TYPES = all_types(3)
+SMALL_TYPES_WITH_PRODUCTS = all_types(2, include_products=True)
+
+I2I = FunType(INT, INT)
+D2D = FunType(DYN, DYN)
+P = label("p")
+
+
+class TestOrdinarySubtyping:
+    def test_base_reflexive(self):
+        assert subtype(INT, INT)
+        assert not subtype(INT, BOOL)
+
+    def test_dyn_reflexive(self):
+        assert subtype(DYN, DYN)
+
+    def test_ground_types_below_dyn(self):
+        assert subtype(INT, DYN)
+        assert subtype(D2D, DYN)
+
+    def test_function_type_below_dyn_requires_dyn_domain(self):
+        # int→int <: ? fails because <: is contravariant in the domain.
+        assert not subtype(I2I, DYN)
+        assert subtype(FunType(DYN, INT), DYN)
+
+    def test_dyn_not_below_base(self):
+        assert not subtype(DYN, INT)
+
+    def test_function_contravariance(self):
+        # A function that accepts ? may stand in for one that accepts int...
+        assert subtype(FunType(DYN, INT), FunType(INT, INT))
+        # ...but not the other way around.
+        assert not subtype(FunType(INT, INT), FunType(DYN, INT))
+        # Covariant in the codomain.
+        assert subtype(I2I, FunType(INT, DYN))
+        assert not subtype(FunType(INT, DYN), I2I)
+        assert subtype(I2I, I2I)
+
+    def test_product_covariance(self):
+        assert subtype(ProdType(INT, BOOL), ProdType(INT, BOOL))
+        assert subtype(ProdType(INT, INT), ProdType(INT, DYN))
+        assert not subtype(ProdType(INT, DYN), ProdType(INT, INT))
+
+    @given(types(max_depth=3))
+    def test_reflexivity(self, ty):
+        assert subtype(ty, ty)
+
+    def test_transitivity_on_small_types(self):
+        for a, b, c in itertools.product(SMALL_TYPES[:12], repeat=3):
+            if subtype(a, b) and subtype(b, c):
+                assert subtype(a, c), (a, b, c)
+
+
+class TestPositiveAndNegativeSubtyping:
+    def test_anything_positive_below_dyn(self):
+        for ty in SMALL_TYPES:
+            assert subtype_pos(ty, DYN)
+
+    def test_dyn_negative_below_anything(self):
+        for ty in SMALL_TYPES:
+            assert subtype_neg(DYN, ty)
+
+    def test_positive_base(self):
+        assert subtype_pos(INT, INT)
+        assert not subtype_pos(INT, BOOL)
+        assert not subtype_pos(DYN, INT)
+
+    def test_negative_base(self):
+        assert subtype_neg(INT, INT)
+        assert not subtype_neg(INT, BOOL)
+        assert subtype_neg(INT, DYN)
+
+    def test_function_polarity_swap(self):
+        # int→int <:+ ?→int  requires  ? <:− int, which holds.
+        assert subtype_pos(I2I, FunType(DYN, INT))
+        # int→int <:− ?→int  requires  ? <:+ int, which fails.
+        assert not subtype_neg(I2I, FunType(DYN, INT))
+
+    @given(types(max_depth=3))
+    def test_positive_reflexive(self, ty):
+        assert subtype_pos(ty, ty)
+
+    @given(types(max_depth=3))
+    def test_negative_reflexive(self, ty):
+        assert subtype_neg(ty, ty)
+
+    def test_ordinary_subtyping_antisymmetric_on_small_types(self):
+        for a, b in itertools.product(SMALL_TYPES[:20], repeat=2):
+            if a != b and subtype(a, b) and subtype(b, a):
+                pytest.fail(f"<: not antisymmetric on {a}, {b}")
+
+    def test_naive_subtyping_antisymmetric_on_small_types(self):
+        for a, b in itertools.product(SMALL_TYPES[:20], repeat=2):
+            if a != b and subtype_naive(a, b) and subtype_naive(b, a):
+                pytest.fail(f"<:n not antisymmetric on {a}, {b}")
+
+    def test_positive_subtyping_is_not_antisymmetric(self):
+        # Literal reading of Figure 2: ?→? <:+ int→? and int→? <:+ ?→?
+        # both hold (via ? <:− B and A <:− G ⟹ A <:− ?), so the paper's
+        # antisymmetry remark does not apply to <:+ verbatim.  Recorded here
+        # so a future rule change that restores antisymmetry is noticed.
+        left, right = FunType(DYN, DYN), FunType(INT, DYN)
+        assert subtype_pos(left, right) and subtype_pos(right, left)
+
+
+class TestNaiveSubtyping:
+    def test_everything_below_dyn(self):
+        for ty in SMALL_TYPES:
+            assert subtype_naive(ty, DYN)
+
+    def test_covariant_in_both_positions(self):
+        assert subtype_naive(I2I, FunType(DYN, DYN))
+        assert subtype_naive(FunType(INT, BOOL), FunType(DYN, BOOL))
+        assert not subtype_naive(FunType(DYN, BOOL), FunType(INT, BOOL))
+
+    def test_bottom_below_everything(self):
+        for ty in SMALL_TYPES:
+            assert subtype_naive(BOT, ty)
+
+    @given(types(max_depth=3))
+    def test_reflexive(self, ty):
+        assert subtype_naive(ty, ty)
+
+    def test_transitivity_on_small_types(self):
+        for a, b, c in itertools.product(SMALL_TYPES[:12], repeat=3):
+            if subtype_naive(a, b) and subtype_naive(b, c):
+                assert subtype_naive(a, c), (a, b, c)
+
+
+class TestTangramLemma:
+    """Lemma 4: ordinary subtyping factors into positive and negative subtyping."""
+
+    def test_part1_exhaustive(self):
+        for a, b in itertools.product(SMALL_TYPES, repeat=2):
+            assert subtype(a, b) == tangram_subtype(a, b), (a, b)
+
+    def test_part2_exhaustive(self):
+        for a, b in itertools.product(SMALL_TYPES, repeat=2):
+            assert subtype_naive(a, b) == tangram_naive(a, b), (a, b)
+
+    def test_parts_with_products(self):
+        for a, b in itertools.product(SMALL_TYPES_WITH_PRODUCTS, repeat=2):
+            assert subtype(a, b) == tangram_subtype(a, b), (a, b)
+            assert subtype_naive(a, b) == tangram_naive(a, b), (a, b)
+
+    @given(types(max_depth=4), types(max_depth=4))
+    def test_part1_random(self, a, b):
+        assert subtype(a, b) == (subtype_pos(a, b) and subtype_neg(a, b))
+
+    @given(types(max_depth=4), types(max_depth=4))
+    def test_part2_random(self, a, b):
+        assert subtype_naive(a, b) == (subtype_pos(a, b) and subtype_neg(b, a))
+
+
+class TestMeetAndJoin:
+    def test_meet_with_dyn_keeps_the_other_type(self):
+        assert meet(DYN, I2I) == I2I
+        assert meet(INT, DYN) == INT
+
+    def test_meet_of_incompatible_bases_is_bottom(self):
+        assert meet(INT, BOOL) == BOT
+
+    def test_meet_is_componentwise(self):
+        assert meet(FunType(INT, DYN), FunType(DYN, BOOL)) == FunType(INT, BOOL)
+        assert meet(ProdType(INT, DYN), ProdType(DYN, BOOL)) == ProdType(INT, BOOL)
+
+    def test_meet_can_bury_bottom(self):
+        result = meet(FunType(INT, INT), FunType(BOOL, INT))
+        assert contains_bottom(result)
+
+    @given(types(max_depth=3), types(max_depth=3))
+    def test_meet_is_a_lower_bound(self, a, b):
+        lower = meet(a, b)
+        assert subtype_naive(lower, a)
+        assert subtype_naive(lower, b)
+
+    @given(types(max_depth=3), types(max_depth=3))
+    def test_meet_is_the_greatest_lower_bound(self, a, b):
+        lower = meet(a, b)
+        for candidate in SMALL_TYPES[:15]:
+            if subtype_naive(candidate, a) and subtype_naive(candidate, b):
+                assert subtype_naive(candidate, lower)
+
+    @given(types(max_depth=3))
+    def test_meet_is_idempotent(self, a):
+        assert meet(a, a) == a
+
+    @given(types(max_depth=3), types(max_depth=3))
+    def test_meet_is_commutative(self, a, b):
+        assert meet(a, b) == meet(b, a)
+
+    def test_join_of_base_and_dyn(self):
+        assert join(INT, DYN) == DYN
+
+    def test_join_of_incompatible_bases_is_none(self):
+        assert join(INT, BOOL) is None
+
+    def test_join_componentwise(self):
+        assert join(FunType(INT, INT), FunType(DYN, INT)) == FunType(DYN, INT)
+
+    def test_gradual_meet_rejects_bottom(self):
+        assert gradual_meet(INT, BOOL) is None
+        assert gradual_meet(FunType(INT, INT), FunType(BOOL, INT)) is None
+        assert gradual_meet(DYN, I2I) == I2I
+
+
+class TestSafeCasts:
+    """The judgement (A ⇒p B) safe q of Figure 2."""
+
+    def test_unrelated_label_is_always_safe(self):
+        q = label("other")
+        assert cast_safe_for(DYN, P, INT, q)
+
+    def test_upcast_is_safe_for_its_own_label(self):
+        # int→int <:+ ?, so positive blame on p is impossible.
+        assert cast_safe_for(I2I, P, DYN, P)
+
+    def test_projection_is_not_safe_for_its_own_label(self):
+        assert not cast_safe_for(DYN, P, INT, P)
+
+    def test_projection_is_safe_for_the_complement(self):
+        # ? <:− int, so negative blame on p is impossible.
+        assert cast_safe_for(DYN, P, INT, P.complement())
+
+    def test_injection_is_safe_for_the_complement_when_negative_subtype(self):
+        assert cast_safe_for(INT, P, DYN, P.complement())
+
+    def test_exhaustive_safety_matches_subtyping(self):
+        for a, b in itertools.product(SMALL_TYPES[:15], repeat=2):
+            from repro.core.types import compatible
+
+            if not compatible(a, b):
+                continue
+            assert cast_safe_for(a, P, b, P) == subtype_pos(a, b)
+            assert cast_safe_for(a, P, b, P.complement()) == subtype_neg(a, b)

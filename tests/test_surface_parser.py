@@ -1,0 +1,198 @@
+"""Tests for the surface-language lexer and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ParseError
+from repro.core.types import BOOL, DYN, INT, STR, UNIT, FunType, ProdType
+from repro.surface.ast import (
+    SApp,
+    SAscribe,
+    SConst,
+    SFst,
+    SIf,
+    SLam,
+    SLet,
+    SLetRec,
+    SOp,
+    SPair,
+    SSnd,
+    SVar,
+)
+from repro.surface.lexer import tokenize
+from repro.surface.parser import parse, parse_program, parse_type
+
+
+class TestLexer:
+    def test_tokenizes_parens_and_symbols(self):
+        tokens = tokenize("(+ 1 x)")
+        assert [t.kind for t in tokens] == ["lparen", "symbol", "int", "symbol", "rparen"]
+
+    def test_tracks_line_and_column(self):
+        tokens = tokenize("(f\n  42)")
+        forty_two = [t for t in tokens if t.text == "42"][0]
+        assert forty_two.location.line == 2
+        assert forty_two.location.column == 3
+
+    def test_string_literals(self):
+        tokens = tokenize('(f "hello world")')
+        assert any(t.kind == "string" and t.text == "hello world" for t in tokens)
+
+    def test_string_escapes(self):
+        tokens = tokenize('"a\\nb"')
+        assert tokens[0].text == "a\nb"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("; a comment\n42")
+        assert len(tokens) == 1 and tokens[0].kind == "int"
+
+    def test_booleans_and_negative_numbers(self):
+        kinds = {t.text: t.kind for t in tokenize("#t false -3 +4 -")}
+        assert kinds["#t"] == "bool"
+        assert kinds["false"] == "bool"
+        assert kinds["-3"] == "int"
+        assert kinds["+4"] == "int"
+        assert kinds["-"] == "symbol"
+
+    def test_brackets(self):
+        kinds = [t.kind for t in tokenize("[x : int]")]
+        assert kinds == ["lbracket", "symbol", "symbol", "symbol", "rbracket"]
+
+
+class TestTypeParsing:
+    def test_base_types(self):
+        assert parse_type("int") == INT
+        assert parse_type("bool") == BOOL
+        assert parse_type("str") == STR
+        assert parse_type("unit") == UNIT
+
+    def test_dynamic_type_spellings(self):
+        assert parse_type("?") == DYN
+        assert parse_type("dyn") == DYN
+        assert parse_type("Dyn") == DYN
+
+    def test_function_types_are_right_associative(self):
+        assert parse_type("(-> int bool)") == FunType(INT, BOOL)
+        assert parse_type("(-> int int bool)") == FunType(INT, FunType(INT, BOOL))
+
+    def test_product_types(self):
+        assert parse_type("(* int ?)") == ProdType(INT, DYN)
+
+    def test_nested_types(self):
+        assert parse_type("(-> (* int int) ?)") == FunType(ProdType(INT, INT), DYN)
+
+    def test_unknown_type_name(self):
+        with pytest.raises(ParseError):
+            parse_type("float")
+
+    def test_malformed_arrow(self):
+        with pytest.raises(ParseError):
+            parse_type("(-> int)")
+
+
+class TestExpressionParsing:
+    def test_literals(self):
+        assert parse("42") == SConst(42, parse("42").location)
+        assert isinstance(parse("#t"), SConst) and parse("#t").value is True
+        assert parse('"hi"').value == "hi"
+        assert parse("unit").value is None
+
+    def test_variables(self):
+        assert isinstance(parse("x"), SVar)
+
+    def test_lambda_with_annotations(self):
+        expr = parse("(lambda ([x : int]) x)")
+        assert isinstance(expr, SLam)
+        assert expr.params == (("x", INT),)
+
+    def test_lambda_without_annotations_defaults_to_dyn(self):
+        expr = parse("(lambda (x) x)")
+        assert expr.params == (("x", DYN),)
+
+    def test_multi_parameter_lambda(self):
+        expr = parse("(lambda ([x : int] y) (+ x 1))")
+        assert expr.params == (("x", INT), ("y", DYN))
+
+    def test_application_is_curried_at_elaboration_not_parsing(self):
+        expr = parse("(f 1 2)")
+        assert isinstance(expr, SApp)
+        assert len(expr.args) == 2
+
+    def test_operators_parse_as_sop(self):
+        expr = parse("(+ 1 2)")
+        assert isinstance(expr, SOp) and expr.op == "+"
+
+    def test_if_let_letrec(self):
+        assert isinstance(parse("(if #t 1 2)"), SIf)
+        assert isinstance(parse("(let ([x 1]) x)"), SLet)
+        letrec = parse("(letrec ([f : (-> int int) (lambda ([n : int]) n)]) (f 3))")
+        assert isinstance(letrec, SLetRec)
+        assert letrec.annotation == FunType(INT, INT)
+
+    def test_pairs_and_projections(self):
+        assert isinstance(parse("(pair 1 2)"), SPair)
+        assert isinstance(parse("(cons 1 2)"), SPair)
+        assert isinstance(parse("(fst p)"), SFst)
+        assert isinstance(parse("(snd p)"), SSnd)
+
+    def test_ascriptions(self):
+        expr = parse("(: 42 ?)")
+        assert isinstance(expr, SAscribe)
+        assert expr.annotation == DYN
+        assert isinstance(parse("(ann 42 int)"), SAscribe)
+
+    def test_source_locations_flow_into_the_ast(self):
+        expr = parse("(: 42\n   int)")
+        assert expr.location.line == 1
+
+    def test_malformed_forms(self):
+        for source in ["(lambda)", "(if #t 1)", "(let (x) 1)", "()", "(fst)", "(: 1)"]:
+            with pytest.raises(ParseError):
+                parse(source)
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse("(+ 1 2")
+        with pytest.raises(ParseError):
+            parse(")")
+
+
+class TestProgramParsing:
+    def test_defines_and_main(self):
+        program = parse_program(
+            """
+            (define (square [x : int]) : int (* x x))
+            (define limit : int 10)
+            (square limit)
+            """
+        )
+        assert len(program.definitions) == 2
+        assert program.definitions[0].name == "square"
+        assert program.definitions[0].annotation == FunType(INT, INT)
+        assert program.definitions[1].annotation == INT
+        assert isinstance(program.main, SApp)
+
+    def test_define_without_annotation(self):
+        program = parse_program("(define f (lambda (x) x)) (f 1)")
+        assert program.definitions[0].annotation is None
+
+    def test_main_must_come_last(self):
+        with pytest.raises(ParseError):
+            parse_program("(square 2) (define (square [x : int]) : int (* x x))")
+
+    def test_only_one_main_expression(self):
+        with pytest.raises(ParseError):
+            parse_program("1 2")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("   ;; nothing here\n")
+
+    def test_parse_rejects_programs_with_definitions(self):
+        with pytest.raises(ParseError):
+            parse("(define x 1) x")

@@ -1,0 +1,135 @@
+"""Tests for the threesome (labeled-type) baseline of §6.1.
+
+The central claim checked here is the paper's own validation strategy:
+"perhaps the easiest way to validate the [threesome composition] equations is
+to translate to coercions" — so we check that composing labeled types with
+``∘`` agrees with composing canonical coercions with ``#`` through the
+representation maps.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.labels import BULLET, label
+from repro.core.types import BOOL, DYN, GROUND_FUN, INT, FunType
+from repro.gen.coercions_gen import random_composable_space_pair
+from repro.lambda_s.coercions import FailS, IdBase, Injection, Projection, compose
+from repro.threesomes import (
+    DYN_LABELED,
+    LArrow,
+    LBase,
+    LFail,
+    compose_labeled,
+    coercion_of_labeled,
+    ground_of_labeled,
+    labeled_of_cast,
+    labeled_of_coercion,
+    top_label,
+    with_top_label,
+)
+from repro.translate.b_to_s import cast_to_space
+
+P = label("p")
+Q = label("q")
+
+
+class TestRepresentation:
+    def test_labeled_type_of_simple_coercions(self):
+        assert labeled_of_coercion(IdBase(INT)) == LBase(INT, None)
+        assert labeled_of_coercion(Injection(IdBase(INT), INT)) == LBase(INT, None)
+        assert labeled_of_coercion(Projection(INT, P, IdBase(INT))) == LBase(INT, P)
+        assert labeled_of_coercion(FailS(INT, P, BOOL)) == LFail(P, INT, None)
+        assert labeled_of_coercion(Projection(INT, Q, FailS(INT, P, BOOL))) == LFail(P, INT, Q)
+
+    def test_labeled_type_of_casts(self):
+        assert labeled_of_cast(INT, P, DYN) == LBase(INT, None)
+        assert labeled_of_cast(DYN, P, INT) == LBase(INT, P)
+        arrow = labeled_of_cast(DYN, P, FunType(INT, BOOL))
+        assert isinstance(arrow, LArrow) and arrow.label == P
+
+    def test_top_label_manipulation(self):
+        base = LBase(INT, None)
+        assert top_label(base) is None
+        assert top_label(with_top_label(base, P)) == P
+        assert ground_of_labeled(LArrow(DYN_LABELED, DYN_LABELED)) == GROUND_FUN
+
+    def test_round_trip_through_coercions_for_casts(self):
+        for source, target in [(INT, DYN), (DYN, INT), (FunType(INT, INT), DYN)]:
+            labeled = labeled_of_cast(source, P, target)
+            back = coercion_of_labeled(labeled, source, target)
+            direct = cast_to_space(source, P, target)
+            # The injection half of a threesome never blames, so compare the
+            # representations (which forget the injection's bullet labels).
+            assert labeled_of_coercion(back) == labeled_of_coercion(direct)
+
+
+class TestCompositionEquations:
+    def test_base_composition_keeps_the_earlier_label(self):
+        assert compose_labeled(LBase(INT, P), LBase(INT, Q)) == LBase(INT, P)
+        assert compose_labeled(LBase(INT, None), LBase(INT, Q)) == LBase(INT, None)
+
+    def test_dyn_is_a_unit(self):
+        assert compose_labeled(DYN_LABELED, LBase(INT, P)) == LBase(INT, P)
+        assert compose_labeled(LBase(INT, P), DYN_LABELED) == LBase(INT, P)
+
+    def test_ground_mismatch_fails_with_the_later_label(self):
+        result = compose_labeled(LBase(INT, P), LBase(BOOL, Q))
+        assert result == LFail(Q, INT, P)
+
+    def test_fail_absorbs_on_the_left(self):
+        fail = LFail(P, INT, None)
+        assert compose_labeled(fail, LBase(BOOL, Q)) == fail
+
+    def test_fail_on_the_right_matching_ground(self):
+        result = compose_labeled(LBase(INT, P), LFail(Q, INT, label("r")))
+        assert result == LFail(Q, INT, P)
+
+    def test_fail_on_the_right_mismatched_ground(self):
+        result = compose_labeled(LBase(INT, P), LFail(Q, BOOL, label("r")))
+        assert result == LFail(label("r"), INT, P)
+
+    def test_arrow_composition_is_contravariant(self):
+        first = LArrow(LBase(INT, P), LBase(INT, None), Q)
+        second = LArrow(LBase(INT, None), LBase(INT, label("r")), None)
+        composed = compose_labeled(first, second)
+        assert isinstance(composed, LArrow)
+        assert composed.label == Q
+        assert composed.dom == LBase(INT, None)
+
+
+class TestAgreementWithSharp:
+    """∘ and # compute the same composition, through the representation maps."""
+
+    def test_first_order_round_trip(self):
+        s = cast_to_space(INT, P, DYN)
+        t = cast_to_space(DYN, Q, INT)
+        assert compose_labeled(labeled_of_coercion(s), labeled_of_coercion(t)) == labeled_of_coercion(
+            compose(s, t)
+        )
+
+    def test_failing_round_trip(self):
+        s = cast_to_space(INT, P, DYN)
+        t = cast_to_space(DYN, Q, BOOL)
+        assert compose_labeled(labeled_of_coercion(s), labeled_of_coercion(t)) == labeled_of_coercion(
+            compose(s, t)
+        )
+
+    def test_higher_order_round_trip(self):
+        fun = FunType(INT, BOOL)
+        s = cast_to_space(fun, P, DYN)
+        t = cast_to_space(DYN, Q, fun)
+        assert compose_labeled(labeled_of_coercion(s), labeled_of_coercion(t)) == labeled_of_coercion(
+            compose(s, t)
+        )
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_agreement_on_random_composable_coercions(self, seed):
+        rng = random.Random(seed)
+        s, t, *_ = random_composable_space_pair(rng, length=2, depth=3)
+        via_threesomes = compose_labeled(labeled_of_coercion(s), labeled_of_coercion(t))
+        via_sharp = labeled_of_coercion(compose(s, t))
+        assert via_threesomes == via_sharp

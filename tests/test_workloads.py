@@ -1,0 +1,86 @@
+"""Tests for the hand-written gradually typed workloads of repro.gen.programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.terms import is_closed
+from repro.core.types import BOOL, INT, ProdType
+from repro.gen.programs import (
+    WORKLOADS,
+    deep_cast_chain,
+    even_odd_all_typed,
+    even_odd_boundary,
+    even_odd_expected,
+    fib_boundary,
+    fib_expected,
+    pair_boundary_swap,
+    safe_boundary_program,
+    twice_boundary,
+    typed_loop_untyped_step,
+    untyped_client_bad_argument,
+    untyped_library_bad_result,
+)
+from repro.lambda_b.typecheck import type_of
+from repro.machine import run_on_machine
+
+
+class TestStaticProperties:
+    def test_all_workloads_are_closed_and_well_typed(self):
+        programs = [
+            even_odd_boundary(3),
+            even_odd_all_typed(3),
+            typed_loop_untyped_step(3),
+            fib_boundary(3),
+            twice_boundary(3),
+            untyped_library_bad_result(),
+            untyped_client_bad_argument(),
+            safe_boundary_program(),
+            pair_boundary_swap(),
+            deep_cast_chain(3),
+        ]
+        for program in programs:
+            assert is_closed(program)
+            type_of(program)  # must not raise
+
+    def test_expected_types(self):
+        assert type_of(even_odd_boundary(2)) == BOOL
+        assert type_of(fib_boundary(2)) == INT
+        assert type_of(typed_loop_untyped_step(2)) == INT
+        assert type_of(pair_boundary_swap()) == ProdType(INT, BOOL)
+        assert type_of(deep_cast_chain(4)) == INT
+
+    def test_workload_registry(self):
+        assert "even_odd_boundary" in WORKLOADS
+        assert WORKLOADS["even_odd_boundary"] is even_odd_boundary
+
+
+class TestRuntimeBehaviour:
+    @pytest.mark.parametrize("n", [0, 1, 2, 7, 12])
+    def test_even_odd_matches_the_reference(self, n):
+        assert run_on_machine(even_odd_boundary(n), "S").python_value() is even_odd_expected(n)
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 5, 11])
+    def test_fib_matches_the_reference(self, n):
+        assert run_on_machine(fib_boundary(n), "S").python_value() == fib_expected(n)
+
+    def test_even_odd_all_typed_control(self):
+        assert run_on_machine(even_odd_all_typed(10), "B").python_value() is True
+        assert run_on_machine(even_odd_all_typed(11), "B").python_value() is False
+
+    def test_typed_loop(self):
+        assert run_on_machine(typed_loop_untyped_step(37), "C").python_value() == 0
+
+    def test_twice(self):
+        assert run_on_machine(twice_boundary(0), "S").python_value() == 2
+
+    def test_deep_cast_chain_collapses_to_its_value(self):
+        assert run_on_machine(deep_cast_chain(25), "S").python_value() == 42
+        assert run_on_machine(deep_cast_chain(25), "B").python_value() == 42
+
+    def test_blame_polarity_of_the_two_contract_scenarios(self):
+        positive = run_on_machine(untyped_library_bad_result("edge"), "S")
+        negative = run_on_machine(untyped_client_bad_argument("edge"), "S")
+        assert positive.is_blame and positive.label.positive
+        assert negative.is_blame and not negative.label.positive
+        assert positive.label.name == negative.label.name == "edge"
