@@ -11,7 +11,11 @@ bounded ratio for λC/λS.
 
 from __future__ import annotations
 
+import sys
+
 import pytest
+
+import harness
 
 from repro.gen.programs import (
     even_odd_boundary,
@@ -23,7 +27,11 @@ from repro.gen.programs import (
 from repro.lambda_b.reduction import run as run_b
 from repro.lambda_c.reduction import run as run_c
 from repro.lambda_s.reduction import run as run_s
-from repro.properties.bisimulation import check_lockstep_b_c, check_outcomes_c_s
+from repro.properties.bisimulation import (
+    check_engine_oracle_all,
+    check_lockstep_b_c,
+    check_outcomes_c_s,
+)
 from repro.translate import b_to_c, b_to_s
 
 WORKLOADS = {
@@ -33,6 +41,34 @@ WORKLOADS = {
     "lib_blame": untyped_library_bad_result(),
     "client_blame": untyped_client_bad_argument(),
 }
+
+
+def build_suite(repeat: int) -> harness.Suite:
+    suite = harness.Suite("bisimulation", repeat)
+    for name, program in sorted(WORKLOADS.items()):
+        term_c = b_to_c(program)
+        suite.measure(
+            f"lockstep_b_c/{name}",
+            lambda program=program: check_lockstep_b_c(program, 5_000),
+            check=lambda report: report.ok,
+            workload=name,
+            steps_b=run_b(program, 100_000).steps,
+            steps_c=run_c(term_c, 100_000).steps,
+        )
+        suite.measure(
+            f"outcomes_c_s/{name}",
+            lambda term_c=term_c: check_outcomes_c_s(term_c, 100_000),
+            check=lambda report: report.ok,
+            workload=name,
+            steps_s=run_s(b_to_s(program), 200_000).steps,
+        )
+        suite.measure(
+            f"engine_oracle/{name}",
+            lambda program=program: check_engine_oracle_all(program),
+            check=lambda report: report.ok,
+            workload=name,
+        )
+    return suite
 
 
 @pytest.mark.benchmark(group="lockstep-b-c")
@@ -65,3 +101,7 @@ def test_outcome_bisimulation_check(benchmark, name):
     benchmark.extra_info["ratio_c_over_s"] = round(steps_c / max(steps_s, 1), 3)
     # Not lockstep, but the step counts stay within a small factor of each other.
     assert 0.2 <= steps_c / max(steps_s, 1) <= 5.0
+
+
+if __name__ == "__main__":
+    sys.exit(harness.main("bisimulation", build_suite))

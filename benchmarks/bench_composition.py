@@ -17,14 +17,17 @@ benchmarks measure:
 from __future__ import annotations
 
 import random
+import sys
 
 import pytest
+
+import harness
 
 from repro.core.labels import Label
 from repro.core.types import DYN, INT, FunType
 from repro.gen.coercions_gen import random_composable_space_pair
 from repro.lambda_c.coercions import Sequence
-from repro.lambda_s.coercions import compose, height, size
+from repro.lambda_s.coercions import compose, compose_memo, height, size
 from repro.translate.b_to_s import cast_to_space
 from repro.translate.c_to_s import coercion_to_space
 from repro.translate.s_to_c import space_to_coercion
@@ -48,6 +51,125 @@ def _higher_order_chain(depth: int, length: int):
         pieces.append(cast_to_space(ty, Label(f"up{index}"), DYN))
         pieces.append(cast_to_space(DYN, Label(f"down{index}"), ty))
     return pieces
+
+
+# ---------------------------------------------------------------------------
+# Standalone harness suite: memoised # versus raw #, and the merge streams
+# the machine actually performs.  `python benchmarks/bench_composition.py --json`
+# writes BENCH_composition.json.
+# ---------------------------------------------------------------------------
+
+
+def _merge_stream(iterations: int, ty=INT):
+    """The exact pending-coercion merge sequence of a boundary tail loop.
+
+    A loop that crosses the same boundary every iteration merges the *same*
+    pair of coercions over and over — the case the memoised ``#`` turns into
+    a dictionary hit.
+    """
+    into = cast_to_space(ty, Label("loop-in"), DYN)
+    outof = cast_to_space(DYN, Label("loop-out"), ty)
+    return [into if i % 2 == 0 else outof for i in range(iterations)]
+
+
+def _higher_order_type(depth: int):
+    ty = INT
+    for _ in range(depth):
+        ty = FunType(ty, DYN)
+    return ty
+
+
+def build_suite(repeat: int) -> harness.Suite:
+    suite = harness.Suite("composition", repeat)
+    rng = random.Random(20150613)
+
+    # (1) The machine's hot path: a tail loop's merge stream.
+    for iterations in (1_000, 10_000):
+        stream = _merge_stream(iterations)
+
+        def fold(composer, stream=stream):
+            result = stream[0]
+            for piece in stream[1:]:
+                result = composer(result, piece)
+            return result
+
+        raw = suite.measure(
+            f"raw/merge_stream_{iterations}",
+            lambda fold=fold: fold(compose),
+            check=lambda r: size(r) <= 2,
+            variant="raw", iterations=iterations,
+        )
+        memo = suite.measure(
+            f"memo/merge_stream_{iterations}",
+            lambda fold=fold: fold(compose_memo),
+            check=lambda r: size(r) <= 2,
+            variant="memoized", iterations=iterations,
+        )
+        suite.record(
+            f"speedup/merge_stream_{iterations}",
+            speedup=round(raw.best_s / memo.best_s, 2),
+            composition_heavy=True,
+            workload=f"merge_stream_{iterations}",
+        )
+
+    # (2) The same merge stream at a higher-order boundary type: raw # must
+    # recurse through the function coercion on every merge, the memoised #
+    # answers from the cache.
+    for depth in (3, 5):
+        stream = _merge_stream(4_000, ty=_higher_order_type(depth))
+
+        def fold(composer, stream=stream):
+            result = stream[0]
+            for piece in stream[1:]:
+                result = composer(result, piece)
+            return result
+
+        raw = suite.measure(
+            f"raw/ho_merge_stream_d{depth}",
+            lambda fold=fold: fold(compose),
+            variant="raw", iterations=4_000, type_depth=depth,
+        )
+        memo = suite.measure(
+            f"memo/ho_merge_stream_d{depth}",
+            lambda fold=fold: fold(compose_memo),
+            check=lambda r, stream=stream: height(r) <= max(height(p) for p in stream),
+            variant="memoized", iterations=4_000, type_depth=depth,
+        )
+        suite.record(
+            f"speedup/ho_merge_stream_d{depth}",
+            speedup=round(raw.best_s / memo.best_s, 2),
+            composition_heavy=True,
+            workload=f"ho_merge_stream_d{depth}",
+        )
+
+    # (3) A replayed batch of random composable pairs (higher-order shapes).
+    pairs = [random_composable_space_pair(rng, length=3, depth=3) for _ in range(100)]
+    replays = 20
+
+    def batch(composer):
+        out = None
+        for _ in range(replays):
+            out = [composer(s, t) for s, t, *_ in pairs]
+        return out
+
+    raw = suite.measure(
+        "raw/random_pairs_x20",
+        lambda: batch(compose),
+        variant="raw", pairs=len(pairs), replays=replays,
+    )
+    memo = suite.measure(
+        "memo/random_pairs_x20",
+        lambda: batch(compose_memo),
+        check=lambda out: out == [compose(s, t) for s, t, *_ in pairs],
+        variant="memoized", pairs=len(pairs), replays=replays,
+    )
+    suite.record(
+        "speedup/random_pairs_x20",
+        speedup=round(raw.best_s / memo.best_s, 2),
+        composition_heavy=True,
+        workload="random_pairs_x20",
+    )
+    return suite
 
 
 @pytest.mark.benchmark(group="compose-first-order-chain")
@@ -128,3 +250,7 @@ def test_compose_random_pairs_throughput(benchmark):
     benchmark.extra_info["pairs"] = len(pairs)
     assert all(height(c) <= max(height(s), height(t))
                for c, (s, t, *_rest) in zip(composed, pairs))
+
+
+if __name__ == "__main__":
+    sys.exit(harness.main("composition", build_suite))

@@ -1,19 +1,32 @@
-"""Experiment: run-time cost of the three calculi on gradually typed workloads.
+"""Experiment: the CEK machine engine versus the substitution-based oracle.
 
 The paper argues λS is "implementation-ready": the space discipline should
-not make programs slower.  These benchmarks compare the CEK machines of the
-three calculi on the boundary workloads (time), and the paper-faithful
-small-step reducers on small instances (where λC's composition-splitting and
-λS's merging give different step counts but comparable cost).
+not make programs slower.  This PR goes further and makes the CEK machine —
+running on interned types/coercions with the memoised composition ``#`` —
+the *primary engine*, keeping the paper-faithful substitution reducers as
+the reference oracle.  This suite quantifies that split: for each standard
+generated workload and each calculus it times
 
-Expected shape: the three machines are within a small constant factor of one
-another on converging workloads, while the λS machine wins asymptotically on
-deep boundary recursion because its continuation stays small.
+* the machine engine (``repro.machine``, interning + memoised ``#``), and
+* the substitution interpreter (the literal rules of Figures 1, 3 and 5),
+
+on the *same* pre-translated term, and records the speedup.  The boundary
+workloads (``even_odd``, ``typed_loop``, ``fib``) are the composition-heavy
+ones — every crossing composes mediating coercions — and are where the
+machine engine's memoised ``#`` pays off most.
+
+Standalone usage (writes the ``BENCH_interpreters.json`` artifact)::
+
+    python benchmarks/bench_interpreters.py --json
 """
 
 from __future__ import annotations
 
+import sys
+
 import pytest
+
+import harness
 
 from repro.gen.programs import (
     even_odd_boundary,
@@ -23,7 +36,7 @@ from repro.gen.programs import (
     twice_boundary,
     typed_loop_untyped_step,
 )
-from repro.machine import run_on_machine
+from repro.machine import MACHINES, run_on_machine
 from repro.properties.calculi import CALCULI
 from repro.translate import b_to_c, b_to_s
 
@@ -33,6 +46,59 @@ MACHINE_WORKLOADS = {
     "typed_loop_300": (typed_loop_untyped_step(300), lambda v: v == 0),
     "twice_10": (twice_boundary(10), lambda v: v == 12),
 }
+
+#: Workloads sized so the substitution oracle finishes in milliseconds; the
+#: boundary (composition-heavy) ones are marked so the artifact can assert
+#: the ≥2× speedup target where it matters.
+ENGINE_VS_ORACLE_WORKLOADS = {
+    "even_odd_60": (even_odd_boundary(60), True),
+    "typed_loop_40": (typed_loop_untyped_step(40), True),
+    "fib_8": (fib_boundary(8), True),
+    "twice_6": (twice_boundary(6), False),
+}
+
+SUBST_FUEL = 500_000
+
+
+def _translated(term_b, calculus: str):
+    if calculus == "B":
+        return term_b
+    if calculus == "C":
+        return b_to_c(term_b)
+    return b_to_s(term_b)
+
+
+def build_suite(repeat: int) -> harness.Suite:
+    suite = harness.Suite("interpreters", repeat)
+    for name, (term_b, heavy) in ENGINE_VS_ORACLE_WORKLOADS.items():
+        for calculus in ("B", "C", "S"):
+            term = _translated(term_b, calculus)
+            machine = MACHINES[calculus]
+            m = suite.measure(
+                f"machine/{calculus}/{name}",
+                lambda machine=machine, term=term: machine.run(term),
+                check=lambda outcome: outcome.is_value,
+                engine="machine", calculus=calculus, workload=name,
+            )
+            o = suite.measure(
+                f"subst/{calculus}/{name}",
+                lambda calculus=calculus, term=term: CALCULI[calculus].run(term, SUBST_FUEL),
+                check=lambda outcome: outcome.is_value,
+                engine="subst", calculus=calculus, workload=name,
+            )
+            suite.record(
+                f"speedup/{calculus}/{name}",
+                speedup=round(o.best_s / m.best_s, 2),
+                composition_heavy=heavy,
+                calculus=calculus,
+                workload=name,
+            )
+    return suite
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (pytest benchmarks/bench_interpreters.py)
+# ---------------------------------------------------------------------------
 
 
 @pytest.mark.benchmark(group="machine-throughput")
@@ -57,12 +123,7 @@ def test_machine_throughput(benchmark, name, calculus):
 def test_small_step_throughput(benchmark, calculus):
     """The literal reduction relations of Figures 1, 3 and 5 on a small instance."""
     program_b = even_odd_boundary(12)
-    if calculus == "B":
-        term = program_b
-    elif calculus == "C":
-        term = b_to_c(program_b)
-    else:
-        term = b_to_s(program_b)
+    term = _translated(program_b, calculus)
     ops = CALCULI[calculus]
 
     def run():
@@ -72,3 +133,7 @@ def test_small_step_throughput(benchmark, calculus):
     assert outcome.is_value
     benchmark.extra_info["calculus"] = calculus
     benchmark.extra_info["reduction_steps"] = outcome.steps
+
+
+if __name__ == "__main__":
+    sys.exit(harness.main("interpreters", build_suite))

@@ -24,12 +24,41 @@ Expected shape (reproducing the paper/Herman et al.):
 
 from __future__ import annotations
 
+import sys
+
 import pytest
+
+import harness
 
 from repro.gen.programs import even_odd_all_typed, even_odd_boundary, even_odd_expected
 from repro.machine import run_on_machine
 
 SIZES = (50, 200, 800)
+
+
+def build_suite(repeat: int) -> harness.Suite:
+    suite = harness.Suite("space", repeat)
+    for n in SIZES:
+        for calculus in ("B", "C", "S"):
+            outcome = run_on_machine(even_odd_boundary(n), calculus)
+            assert outcome.is_value and outcome.python_value() == even_odd_expected(n)
+            stats = outcome.stats
+            suite.measure(
+                f"even_odd/{calculus}/n{n}",
+                lambda n=n, calculus=calculus: run_on_machine(even_odd_boundary(n), calculus),
+                calculus=calculus, n=n,
+                max_pending_mediators=stats["max_pending_mediators"],
+                max_pending_size=stats["max_pending_size"],
+                max_kont_depth=stats["max_kont_depth"],
+                steps=stats["steps"],
+            )
+        control = run_on_machine(even_odd_all_typed(n), "B")
+        suite.record(
+            f"control/all_typed/n{n}",
+            n=n,
+            max_pending_mediators=control.stats["max_pending_mediators"],
+        )
+    return suite
 
 
 def _run_and_check(n: int, calculus: str):
@@ -97,3 +126,7 @@ def test_small_step_term_growth(benchmark, calculus):
         assert peak < 100
     else:
         assert peak > n
+
+
+if __name__ == "__main__":
+    sys.exit(harness.main("space", build_suite))

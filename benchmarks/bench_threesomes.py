@@ -11,8 +11,11 @@ paper argues in §6.1.
 from __future__ import annotations
 
 import random
+import sys
 
 import pytest
+
+import harness
 
 from repro.core.labels import Label
 from repro.core.types import DYN, INT
@@ -28,6 +31,48 @@ def _boundary_chain(length: int):
         pieces.append(cast_to_space(INT, Label(f"in{index}"), DYN))
         pieces.append(cast_to_space(DYN, Label(f"out{index}"), INT))
     return pieces
+
+
+def build_suite(repeat: int) -> harness.Suite:
+    suite = harness.Suite("threesomes", repeat)
+
+    pieces = _boundary_chain(200)
+    labeled_pieces = [labeled_of_coercion(piece) for piece in pieces]
+
+    def fold_sharp():
+        result = pieces[0]
+        for piece in pieces[1:]:
+            result = compose(result, piece)
+        return labeled_of_coercion(result)
+
+    def fold_threesomes():
+        result = labeled_pieces[0]
+        for piece in labeled_pieces[1:]:
+            result = compose_labeled(result, piece)
+        return result
+
+    reference = fold_sharp()
+    suite.measure("sharp/chain_200", fold_sharp, algorithm="sharp", chain_length=len(pieces))
+    suite.measure("threesomes/chain_200", fold_threesomes,
+                  check=lambda r: r == reference,
+                  algorithm="threesomes", chain_length=len(pieces))
+
+    rng = random.Random(20100117)
+    pairs = [random_composable_space_pair(rng, length=3, depth=3) for _ in range(100)]
+    labeled_pairs = [(labeled_of_coercion(s), labeled_of_coercion(t)) for s, t, *_ in pairs]
+
+    def run_sharp():
+        return [labeled_of_coercion(compose(s, t)) for s, t, *_ in pairs]
+
+    def run_threesomes():
+        return [compose_labeled(p, q) for p, q in labeled_pairs]
+
+    reference_pairs = run_sharp()
+    suite.measure("sharp/random_100", run_sharp, algorithm="sharp", pairs=len(pairs))
+    suite.measure("threesomes/random_100", run_threesomes,
+                  check=lambda r: r == reference_pairs,
+                  algorithm="threesomes", pairs=len(pairs))
+    return suite
 
 
 @pytest.mark.benchmark(group="threesomes-vs-sharp-chain")
@@ -72,3 +117,7 @@ def test_random_pair_composition(benchmark, algorithm):
     benchmark.extra_info["algorithm"] = algorithm
     benchmark.extra_info["pairs"] = len(pairs)
     assert results == run_sharp()
+
+
+if __name__ == "__main__":
+    sys.exit(harness.main("threesomes", build_suite))

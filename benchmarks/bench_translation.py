@@ -10,7 +10,11 @@ that normalisation shrinks long cast chains.
 
 from __future__ import annotations
 
+import sys
+
 import pytest
+
+import harness
 
 from repro.core.terms import count_casts, count_coercions, term_size
 from repro.gen.programs import deep_cast_chain, even_odd_boundary, fib_boundary
@@ -29,6 +33,36 @@ SURFACE_SOURCE = """
   (if (zero? n) #t (: (: (even (- n 1)) ?) bool)))
 (even 50)
 """
+
+
+def build_suite(repeat: int) -> harness.Suite:
+    suite = harness.Suite("translation", repeat)
+    for name, term in sorted(WORKLOADS.items()):
+        term_c = b_to_c(term)
+        suite.measure(
+            f"b_to_c/{name}", lambda term=term: b_to_c(term),
+            check=lambda t: count_coercions(t) == count_casts(term),
+            workload=name, casts=count_casts(term),
+        )
+        suite.measure(
+            f"c_to_s/{name}", lambda term_c=term_c: c_to_s(term_c),
+            workload=name,
+            size_before=term_size(term_c), size_after=term_size(c_to_s(term_c)),
+        )
+        suite.measure(
+            f"c_to_b/{name}", lambda term_c=term_c: c_to_b(term_c),
+            workload=name,
+        )
+
+    def front_end():
+        return elaborate_program(parse_program(SURFACE_SOURCE))
+
+    suite.measure(
+        "surface/parse_and_elaborate", front_end,
+        check=lambda result: count_casts(result[0]) > 0,
+        casts_inserted=count_casts(front_end()[0]),
+    )
+    return suite
 
 
 @pytest.mark.benchmark(group="translate-b-to-c")
@@ -70,3 +104,7 @@ def test_parse_and_elaborate(benchmark):
     term, ty = benchmark(front_end)
     benchmark.extra_info["casts_inserted"] = count_casts(term)
     assert count_casts(term) > 0
+
+
+if __name__ == "__main__":
+    sys.exit(harness.main("translation", build_suite))

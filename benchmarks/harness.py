@@ -1,0 +1,139 @@
+"""Shared benchmark harness: timing, tables, and ``BENCH_<name>.json`` artifacts.
+
+Every ``bench_*.py`` in this directory is both a pytest-benchmark module and
+a standalone script built on this harness::
+
+    python benchmarks/bench_interpreters.py            # print a table
+    python benchmarks/bench_interpreters.py --json     # also write BENCH_interpreters.json
+
+The JSON artifacts are the repo's performance trajectory: each records the
+machine, the measurements (best/mean seconds plus per-measurement metadata
+such as speedups and space statistics), so successive PRs can be compared
+number by number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+# Make `repro` importable when run as a plain script from the repo root.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+@dataclass
+class Measurement:
+    """One timed (or derived) quantity."""
+
+    name: str
+    best_s: float | None = None
+    mean_s: float | None = None
+    runs: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        payload: dict = {"name": self.name, "runs": self.runs}
+        if self.best_s is not None:
+            payload["best_s"] = self.best_s
+            payload["mean_s"] = self.mean_s
+        payload.update(self.meta)
+        return payload
+
+
+class Suite:
+    """A named collection of measurements with a uniform CLI and JSON shape."""
+
+    def __init__(self, name: str, repeat: int = 5):
+        self.name = name
+        self.repeat = repeat
+        self.measurements: list[Measurement] = []
+
+    def measure(
+        self,
+        name: str,
+        fn: Callable[[], object],
+        repeat: int | None = None,
+        check: Callable[[object], bool] | None = None,
+        **meta,
+    ) -> Measurement:
+        """Time ``fn`` (one warmup + ``repeat`` timed runs) and record it."""
+        repeat = repeat or self.repeat
+        result = fn()  # warmup, and the value used for the correctness check
+        if check is not None and not check(result):
+            raise AssertionError(f"benchmark {self.name}/{name}: check failed on {result!r}")
+        timings = []
+        for _ in range(repeat):
+            start = time.perf_counter()
+            fn()
+            timings.append(time.perf_counter() - start)
+        measurement = Measurement(
+            name,
+            best_s=min(timings),
+            mean_s=sum(timings) / len(timings),
+            runs=repeat,
+            meta=meta,
+        )
+        self.measurements.append(measurement)
+        return measurement
+
+    def record(self, name: str, **meta) -> Measurement:
+        """Record a derived, untimed quantity (a ratio, a space statistic)."""
+        measurement = Measurement(name, meta=meta)
+        self.measurements.append(measurement)
+        return measurement
+
+    # -- reporting -----------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "suite": self.name,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "measurements": [m.to_json() for m in self.measurements],
+        }
+
+    def print_table(self) -> None:
+        print(f"== {self.name} ==")
+        width = max((len(m.name) for m in self.measurements), default=10)
+        for m in self.measurements:
+            if m.best_s is not None:
+                timing = f"best {m.best_s * 1e3:9.3f} ms   mean {m.mean_s * 1e3:9.3f} ms"
+            else:
+                timing = " " * 42
+            extras = "  ".join(f"{k}={v}" for k, v in m.meta.items())
+            print(f"  {m.name:<{width}}  {timing}  {extras}")
+
+
+def artifact_path(suite_name: str, explicit: str | None = None) -> Path:
+    """Where ``--json`` writes: ``BENCH_<name>.json`` in the repo root by default."""
+    if explicit:
+        return Path(explicit)
+    return Path(__file__).resolve().parent.parent / f"BENCH_{suite_name}.json"
+
+
+def main(suite_name: str, build: Callable[[int], Suite], argv: list[str] | None = None) -> int:
+    """CLI entry point shared by every ``bench_*.py``.
+
+    ``build(repeat)`` runs the experiment and returns the populated suite.
+    """
+    parser = argparse.ArgumentParser(description=f"benchmark suite {suite_name!r}")
+    parser.add_argument("--json", nargs="?", const="", default=None, metavar="PATH",
+                        help=f"write BENCH_{suite_name}.json (optionally to PATH)")
+    parser.add_argument("--repeat", type=int, default=5, help="timed runs per measurement")
+    args = parser.parse_args(argv)
+
+    suite = build(args.repeat)
+    suite.print_table()
+    if args.json is not None:
+        path = artifact_path(suite_name, args.json or None)
+        path.write_text(json.dumps(suite.to_json(), indent=2) + "\n")
+        print(f"wrote {path}")
+    return 0

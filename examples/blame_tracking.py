@@ -27,11 +27,8 @@ from repro.gen.programs import (
     untyped_client_bad_argument,
     untyped_library_bad_result,
 )
-from repro.lambda_b import run as run_b
 from repro.lambda_b.safety import term_safe_for, unsafe_labels
-from repro.lambda_c import run as run_c
-from repro.lambda_s import run as run_s
-from repro.translate import b_to_c, b_to_s
+from repro.machine import run_on_machine
 
 
 def analyse(title: str, program, boundary_name: str = "boundary") -> None:
@@ -44,9 +41,10 @@ def analyse(title: str, program, boundary_name: str = "boundary") -> None:
     print(f"labels that could possibly be blamed: "
           f"{sorted(str(lbl) for lbl in unsafe_labels(program))}")
 
-    outcome_b = run_b(program)
-    outcome_c = run_c(b_to_c(program))
-    outcome_s = run_s(b_to_s(program))
+    # The CEK machine is the engine for all three calculi.
+    outcome_b = run_on_machine(program, "B")
+    outcome_c = run_on_machine(program, "C")
+    outcome_s = run_on_machine(program, "S")
     print(f"λB outcome : {outcome_b}")
     print(f"λC outcome : {outcome_c}")
     print(f"λS outcome : {outcome_s}")

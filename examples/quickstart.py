@@ -18,10 +18,9 @@ from __future__ import annotations
 
 from repro.core.pretty import term_to_str
 from repro.core.terms import count_casts, count_coercions
-from repro.lambda_b import run as run_b
 from repro.lambda_b import type_of as type_of_b
-from repro.lambda_c import run as run_c
-from repro.lambda_s import run as run_s
+from repro.machine import run_on_machine
+from repro.properties.bisimulation import check_engine_oracle_all
 from repro.surface.cast_insertion import elaborate_program
 from repro.surface.parser import parse_program
 from repro.translate import b_to_c, c_to_s
@@ -56,14 +55,18 @@ def show(title: str, source: str) -> None:
     print(f"coercions (λC/λS) : {count_coercions(term_c)} / {count_coercions(term_s)}")
 
     print(f"type of λB term   : {type_of_b(term_b)}")
-    outcome_b = run_b(term_b)
-    outcome_c = run_c(term_c)
-    outcome_s = run_s(term_s)
+    # Run on the primary engine: the CEK machine of each calculus.
+    outcome_b = run_on_machine(term_b, "B")
+    outcome_c = run_on_machine(term_b, "C")
+    outcome_s = run_on_machine(term_b, "S")
     print(f"λB outcome        : {outcome_b}")
     print(f"λC outcome        : {outcome_c}")
     print(f"λS outcome        : {outcome_s}")
     agree = {outcome_b.kind, outcome_c.kind, outcome_s.kind}
     print(f"calculi agree     : {'yes' if len(agree) == 1 else 'NO'}")
+    # Cross-check the machine against the substitution-based reference oracle.
+    oracle = check_engine_oracle_all(term_b)
+    print(f"oracle agrees     : {'yes' if oracle.ok else 'NO — ' + oracle.reason}")
     print()
 
 

@@ -3,7 +3,8 @@
 Installed as ``repro-gradual``.  Subcommands:
 
 * ``run FILE``        — parse, type check, insert casts, evaluate (choose the
-  calculus with ``--calculus`` and the backend with ``--small-step``).
+  calculus with ``--calculus`` and the engine with ``--engine``: the CEK
+  machine by default, or the substitution-based reference oracle).
 * ``check FILE``      — static gradual type checking only.
 * ``translate FILE``  — print the elaborated λB term, or its λC / λS translation.
 * ``space N``         — reproduce the space-efficiency experiment for the
@@ -38,11 +39,12 @@ def _load_program(path: str):
 def _cmd_run(args: argparse.Namespace) -> int:
     program = _load_program(args.file)
     term, ty = elaborate_program(program)
+    engine = "subst" if args.small_step else args.engine
     result = run_term(
         term,
         ty,
         calculus=args.calculus,
-        use_machine=not args.small_step,
+        engine=engine,
         fuel=args.fuel,
     )
     print(result)
@@ -103,8 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run a gradual program")
     run_parser.add_argument("file")
     run_parser.add_argument("--calculus", choices=["B", "C", "S", "b", "c", "s"], default="S")
+    run_parser.add_argument("--engine", choices=["machine", "subst"], default="machine",
+                            help="execution engine: the CEK machine (default) or the "
+                                 "substitution-based reference oracle")
     run_parser.add_argument("--small-step", action="store_true",
-                            help="use the paper-faithful small-step reducer instead of the CEK machine")
+                            help="alias for --engine subst (the paper-faithful small-step reducer)")
     run_parser.add_argument("--show-space", action="store_true", help="print space statistics")
     run_parser.add_argument("--fuel", type=int, default=None)
     run_parser.set_defaults(handler=_cmd_run)

@@ -138,20 +138,68 @@ def is_ground(ty: Type) -> bool:
     return False
 
 
-def types_equal(a: Type, b: Type) -> bool:
-    """Structural equality that lets the wildcard :data:`UNKNOWN` match anything."""
+def _types_equal_impl(a: Type, b: Type, rec) -> bool:
+    """The one definition of wildcard equality; ``rec`` is the recursion target,
+    so the memoized and unmemoized versions share this body and cannot diverge."""
     if isinstance(a, UnknownType) or isinstance(b, UnknownType):
         return True
     if isinstance(a, FunType) and isinstance(b, FunType):
-        return types_equal(a.dom, b.dom) and types_equal(a.cod, b.cod)
+        return rec(a.dom, b.dom) and rec(a.cod, b.cod)
     if isinstance(a, ProdType) and isinstance(b, ProdType):
-        return types_equal(a.left, b.left) and types_equal(a.right, b.right)
+        return rec(a.left, b.left) and rec(a.right, b.right)
     return a == b
+
+
+def types_equal_unmemoized(a: Type, b: Type) -> bool:
+    """Reference implementation of :func:`types_equal` (no caching)."""
+    return _types_equal_impl(a, b, types_equal_unmemoized)
+
+
+@lru_cache(maxsize=None)
+def _types_equal_memo(a: Type, b: Type) -> bool:
+    return _types_equal_impl(a, b, _types_equal_memo)
+
+
+def types_equal(a: Type, b: Type) -> bool:
+    """Structural equality that lets the wildcard :data:`UNKNOWN` match anything.
+
+    Memoised: on interned types (see :mod:`repro.core.intern`) the identity
+    fast path makes repeated comparisons O(1).
+    """
+    if a is b:
+        return True
+    return _types_equal_memo(a, b)
 
 
 # ---------------------------------------------------------------------------
 # Compatibility and grounding (Figure 1, Lemma 1)
 # ---------------------------------------------------------------------------
+
+
+def _compatible_impl(a: Type, b: Type, rec) -> bool:
+    """The one definition of ``A ~ B``; ``rec`` is the recursion target, so the
+    memoized and unmemoized versions share this body and cannot diverge."""
+    if isinstance(a, UnknownType) or isinstance(b, UnknownType):
+        return True
+    if isinstance(a, DynType) or isinstance(b, DynType):
+        return True
+    if isinstance(a, BaseType) and isinstance(b, BaseType):
+        return a == b
+    if isinstance(a, FunType) and isinstance(b, FunType):
+        return rec(a.dom, b.dom) and rec(a.cod, b.cod)
+    if isinstance(a, ProdType) and isinstance(b, ProdType):
+        return rec(a.left, b.left) and rec(a.right, b.right)
+    return False
+
+
+def compatible_unmemoized(a: Type, b: Type) -> bool:
+    """Reference implementation of :func:`compatible` (no caching)."""
+    return _compatible_impl(a, b, compatible_unmemoized)
+
+
+@lru_cache(maxsize=None)
+def _compatible_memo(a: Type, b: Type) -> bool:
+    return _compatible_impl(a, b, _compatible_memo)
 
 
 def compatible(a: Type, b: Type) -> bool:
@@ -161,25 +209,15 @@ def compatible(a: Type, b: Type) -> bool:
     or they are both function (resp. product) types with compatible
     components.  Note function compatibility is *not* contravariant — it just
     asks for compatibility of domains and of codomains.
+
+    Memoised: the machine asks the same compatibility questions on every
+    boundary crossing, so repeated queries are dictionary hits.
     """
-    if isinstance(a, UnknownType) or isinstance(b, UnknownType):
-        return True
-    if isinstance(a, DynType) or isinstance(b, DynType):
-        return True
-    if isinstance(a, BaseType) and isinstance(b, BaseType):
-        return a == b
-    if isinstance(a, FunType) and isinstance(b, FunType):
-        return compatible(a.dom, b.dom) and compatible(a.cod, b.cod)
-    if isinstance(a, ProdType) and isinstance(b, ProdType):
-        return compatible(a.left, b.left) and compatible(a.right, b.right)
-    return False
+    return _compatible_memo(a, b)
 
 
-def ground_of(ty: Type) -> Type:
-    """Lemma 1(1): for ``A ≠ ?`` return the unique ground type ``G`` with ``A ~ G``.
-
-    Raises ``ValueError`` for the dynamic type, which has no grounding.
-    """
+def ground_of_unmemoized(ty: Type) -> Type:
+    """Reference implementation of :func:`ground_of` (no caching)."""
     if isinstance(ty, DynType):
         raise ValueError("the dynamic type ? has no associated ground type")
     if isinstance(ty, BaseType):
@@ -189,6 +227,21 @@ def ground_of(ty: Type) -> Type:
     if isinstance(ty, ProdType):
         return GROUND_PROD
     raise ValueError(f"not a groundable type: {ty!r}")
+
+
+@lru_cache(maxsize=None)
+def _ground_of_memo(ty: Type) -> Type:
+    return ground_of_unmemoized(ty)
+
+
+def ground_of(ty: Type) -> Type:
+    """Lemma 1(1): for ``A ≠ ?`` return the unique ground type ``G`` with ``A ~ G``.
+
+    Raises ``ValueError`` for the dynamic type, which has no grounding.
+    """
+    if isinstance(ty, DynType):
+        raise ValueError("the dynamic type ? has no associated ground type")
+    return _ground_of_memo(ty)
 
 
 def grounds_to(ty: Type, ground: Type) -> bool:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.errors import EvaluationError
+from ..core.intern import intern_type
 from ..core.labels import Label
 from ..core.terms import Cast, Coerce, Term
 from ..core.types import (
@@ -98,7 +99,9 @@ class BlamePolicy(MediationPolicy):
 
     def term_mediator(self, term: Term) -> CastMediator:
         assert isinstance(term, Cast)
-        return CastMediator(term.source, term.target, term.label)
+        # Interned types make the structural comparisons in `apply` cheap:
+        # equal interned types are the same object, so `==` exits on identity.
+        return CastMediator(intern_type(term.source), intern_type(term.target), term.label)
 
     def is_fun_proxy(self, mediator: CastMediator) -> bool:
         return isinstance(mediator.source, FunType) and isinstance(mediator.target, FunType)
@@ -171,7 +174,7 @@ class CoercionPolicy(MediationPolicy):
 
     def term_mediator(self, term: Term) -> co_c.Coercion:
         assert isinstance(term, Coerce)
-        return term.coercion
+        return co_c.intern_coercion(term.coercion)
 
     def is_fun_proxy(self, mediator: co_c.Coercion) -> bool:
         return isinstance(mediator, co_c.FunCoercion)
@@ -217,12 +220,20 @@ class SpacePolicy(MediationPolicy):
     name = "S"
     merges_pending_mediators = True
 
+    def __init__(self) -> None:
+        # Sizes of interned mediators, keyed by identity: interned nodes are
+        # immortal, so the ids are stable.  The machine recomputes the size of
+        # the same pending coercion on every push/merge; this makes it O(1).
+        self._size_cache: dict[int, int] = {}
+
     def is_mediation_node(self, term: Term) -> bool:
         return isinstance(term, Coerce) and isinstance(term.coercion, co_s.SpaceCoercion)
 
     def term_mediator(self, term: Term) -> co_s.SpaceCoercion:
         assert isinstance(term, Coerce)
-        return term.coercion
+        # Interning here keeps every mediator the machine ever holds canonical,
+        # so the compose_memo cache below is hit on the node's identity.
+        return co_s.intern_space(term.coercion)
 
     def is_fun_proxy(self, mediator: co_s.SpaceCoercion) -> bool:
         return isinstance(mediator, co_s.FunCo)
@@ -235,7 +246,7 @@ class SpacePolicy(MediationPolicy):
         # never carries more than one mediator — the value-level counterpart
         # of merging pending continuation frames.
         if isinstance(value, MProxy) and isinstance(value.mediator, co_s.SpaceCoercion):
-            return self.apply(value.under, co_s.compose(value.mediator, s))
+            return self.apply(value.under, co_s.compose_memo(value.mediator, s))
         if isinstance(s, (co_s.IdBase, co_s.IdDyn)):
             return value
         if isinstance(s, co_s.FailS):
@@ -253,10 +264,16 @@ class SpacePolicy(MediationPolicy):
         return s.left, s.right
 
     def compose(self, first: co_s.SpaceCoercion, second: co_s.SpaceCoercion) -> co_s.SpaceCoercion:
-        return co_s.compose(first, second)
+        return co_s.compose_memo(first, second)
 
     def size(self, s: co_s.SpaceCoercion) -> int:
-        return co_s.size(s)
+        if not co_s.is_interned_space(s):
+            return co_s.size(s)
+        cached = self._size_cache.get(id(s))
+        if cached is None:
+            cached = co_s.size(s)
+            self._size_cache[id(s)] = cached
+        return cached
 
 
 BLAME_POLICY = BlamePolicy()

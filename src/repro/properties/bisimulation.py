@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from ..core.terms import Blame, Coerce, Term, alpha_equal, erase, subterms
 from ..translate.b_to_c import term_to_lambda_c
 from ..translate.c_to_s import term_to_lambda_s
-from .calculi import LAMBDA_B, LAMBDA_C, LAMBDA_S
+from .calculi import CALCULI, LAMBDA_B, LAMBDA_C, LAMBDA_S
 
 
 @dataclass(frozen=True)
@@ -177,3 +177,110 @@ def check_outcomes_b_c_s(term_b: Term, fuel: int = 50_000) -> BisimulationReport
     if not lockstep.ok:
         return lockstep
     return check_outcomes_c_s(term_to_lambda_c(term_b), fuel)
+
+
+# ---------------------------------------------------------------------------
+# Engine ↔ oracle: the CEK machine against the substitution reducers
+# ---------------------------------------------------------------------------
+
+
+def reducer_value_to_python(term: Term) -> object:
+    """Project a substitution-reducer value to a Python observable.
+
+    Mirrors :func:`repro.machine.values.machine_value_to_python`: constants
+    project to themselves, pairs componentwise, functions to the opaque
+    ``"<function>"`` marker, and mediator wrappers (casts/coercions) are
+    looked through via erasure.
+    """
+    from ..core.terms import Const, Lam, Fix, Pair, erase
+
+    stripped = erase(term)
+
+    def project(t: Term) -> object:
+        if isinstance(t, Const):
+            return t.value
+        if isinstance(t, Pair):
+            return (project(t.left), project(t.right))
+        if isinstance(t, (Lam, Fix)):
+            return "<function>"
+        return str(t)
+
+    return project(stripped)
+
+
+def check_engine_oracle(
+    term_b: Term,
+    calculus: str = "S",
+    machine_fuel: int = 2_000_000,
+    subst_fuel: int = 100_000,
+    strict_timeouts: bool = False,
+) -> BisimulationReport:
+    """Check the production engine against the reference oracle on one program.
+
+    Runs the λB program on the CEK machine of the chosen calculus and on the
+    corresponding paper-faithful substitution reducer, and compares the
+    observable outcome: the projected value, the blame label, or timeout.
+    The two fuel budgets are measured in different units (machine steps
+    versus reduction steps); when exactly one side exhausts its fuel the
+    comparison is inconclusive and reported as ok unless ``strict_timeouts``.
+    """
+    from ..machine import run_on_machine
+    from ..translate import b_to_c, b_to_s
+
+    calculus = calculus.upper()
+    machine_outcome = run_on_machine(term_b, calculus, machine_fuel)
+
+    if calculus == "B":
+        oracle_term = term_b
+    elif calculus == "C":
+        oracle_term = b_to_c(term_b)
+    elif calculus == "S":
+        oracle_term = b_to_s(term_b)
+    else:
+        raise ValueError(f"unknown calculus {calculus!r}")
+    oracle_outcome = CALCULI[calculus].run(oracle_term, subst_fuel)
+
+    steps_m = (machine_outcome.stats or {}).get("steps", 0)
+    steps_o = oracle_outcome.steps
+
+    if machine_outcome.is_timeout or oracle_outcome.is_timeout:
+        if machine_outcome.is_timeout and oracle_outcome.is_timeout:
+            return BisimulationReport(True, steps_m, steps_o)
+        ok = not strict_timeouts
+        return BisimulationReport(
+            ok, steps_m, steps_o,
+            "inconclusive: one side exhausted its fuel", term_b, oracle_term,
+        )
+
+    if machine_outcome.is_blame or oracle_outcome.is_blame:
+        if not (machine_outcome.is_blame and oracle_outcome.is_blame):
+            return BisimulationReport(
+                False, steps_m, steps_o,
+                "engine and oracle disagree on blame", term_b, oracle_term,
+            )
+        if machine_outcome.label != oracle_outcome.label:
+            return BisimulationReport(
+                False, steps_m, steps_o,
+                f"blame labels differ: {machine_outcome.label} vs {oracle_outcome.label}",
+                term_b, oracle_term,
+            )
+        return BisimulationReport(True, steps_m, steps_o)
+
+    engine_value = machine_outcome.python_value()
+    oracle_value = reducer_value_to_python(oracle_outcome.term)
+    if engine_value != oracle_value:
+        return BisimulationReport(
+            False, steps_m, steps_o,
+            f"values differ: engine {engine_value!r} vs oracle {oracle_value!r}",
+            term_b, oracle_term,
+        )
+    return BisimulationReport(True, steps_m, steps_o)
+
+
+def check_engine_oracle_all(term_b: Term, **kwargs) -> BisimulationReport:
+    """Engine/oracle agreement on all three calculi; first failure wins."""
+    for calculus in ("B", "C", "S"):
+        report = check_engine_oracle(term_b, calculus, **kwargs)
+        if not report.ok:
+            return report
+    return report

@@ -1,11 +1,18 @@
 """Run surface programs end to end: parse → type check → insert casts → evaluate.
 
-The evaluation backend is selectable:
+The CEK machine (:mod:`repro.machine`) is the primary engine: it is the
+default for every calculus, runs on interned types and coercions, merges
+pending λS coercions with the memoised ``#``, and reports space statistics.
+The paper-faithful substitution reducers are retained as the *reference
+oracle* — the literal reduction rules of Figures 1, 3 and 5 — selectable
+with ``engine="subst"`` and checked against the machine by the bisimulation
+property tests.
 
-* calculus ``"B"``, ``"C"``, or ``"S"`` — which calculus the elaborated
+Backends are therefore a pair of knobs:
+
+* ``calculus`` — ``"B"``, ``"C"``, or ``"S"``: which calculus the elaborated
   program is translated into;
-* ``use_machine`` — the CEK machine (fast, reports space statistics) or the
-  paper-faithful small-step reducer (slow, but the literal rules).
+* ``engine`` — ``"machine"`` (default) or ``"subst"`` (the oracle).
 """
 
 from __future__ import annotations
@@ -19,10 +26,12 @@ from ..lambda_b import reduction as reduction_b
 from ..lambda_c import reduction as reduction_c
 from ..lambda_s import reduction as reduction_s
 from ..machine import run_on_machine
-from ..machine.values import machine_value_to_python
 from ..translate import b_to_c, c_to_s
 from .cast_insertion import elaborate_program
 from .parser import parse_program
+
+#: The two execution engines: the production machine and the reference oracle.
+ENGINES = ("machine", "subst")
 
 
 @dataclass(frozen=True)
@@ -34,6 +43,7 @@ class RunResult:
     blame_label: Label | None = None
     type: Type | None = None
     calculus: str = "S"
+    engine: str = "machine"
     space_stats: dict | None = None
 
     @property
@@ -58,35 +68,49 @@ def compile_source(source: str) -> tuple[Term, Type]:
     return elaborate_program(program)
 
 
+def _resolve_engine(engine: str | None, use_machine: bool | None) -> str:
+    if use_machine is not None:  # legacy knob, kept for compatibility
+        return "machine" if use_machine else "subst"
+    resolved = engine or "machine"
+    if resolved not in ENGINES:
+        raise ValueError(f"unknown engine {resolved!r}; expected one of {ENGINES}")
+    return resolved
+
+
 def run_source(
     source: str,
     calculus: str = "S",
-    use_machine: bool = True,
+    use_machine: bool | None = None,
     fuel: int | None = None,
+    engine: str = "machine",
 ) -> RunResult:
     """Run a surface program and report its outcome."""
     term, ty = compile_source(source)
-    return run_term(term, ty, calculus=calculus, use_machine=use_machine, fuel=fuel)
+    return run_term(term, ty, calculus=calculus, use_machine=use_machine,
+                    fuel=fuel, engine=engine)
 
 
 def run_term(
     term: Term,
     ty: Type | None = None,
     calculus: str = "S",
-    use_machine: bool = True,
+    use_machine: bool | None = None,
     fuel: int | None = None,
+    engine: str = "machine",
 ) -> RunResult:
-    """Run an elaborated λB term on the chosen backend."""
+    """Run an elaborated λB term on the chosen calculus and engine."""
     calculus = calculus.upper()
-    if use_machine:
+    engine = _resolve_engine(engine, use_machine)
+    if engine == "machine":
         outcome = run_on_machine(term, calculus, fuel or 5_000_000)
         if outcome.is_value:
             return RunResult("value", outcome.python_value(), type=ty, calculus=calculus,
-                             space_stats=outcome.stats)
+                             engine=engine, space_stats=outcome.stats)
         if outcome.is_blame:
             return RunResult("blame", blame_label=outcome.label, type=ty, calculus=calculus,
-                             space_stats=outcome.stats)
-        return RunResult("timeout", type=ty, calculus=calculus, space_stats=outcome.stats)
+                             engine=engine, space_stats=outcome.stats)
+        return RunResult("timeout", type=ty, calculus=calculus, engine=engine,
+                         space_stats=outcome.stats)
 
     step_fuel = fuel or 200_000
     if calculus == "B":
@@ -98,11 +122,13 @@ def run_term(
     else:
         raise ValueError(f"unknown calculus {calculus!r}")
     if outcome.is_value:
-        from ..core.terms import Const, erase
+        # Same projection as the machine engine's python_value(), so the two
+        # engines' RunResult.value are directly comparable.
+        from ..properties.bisimulation import reducer_value_to_python
 
-        erased = erase(outcome.term)
-        value = erased.value if isinstance(erased, Const) else str(erased)
-        return RunResult("value", value, type=ty, calculus=calculus)
+        value = reducer_value_to_python(outcome.term)
+        return RunResult("value", value, type=ty, calculus=calculus, engine=engine)
     if outcome.is_blame:
-        return RunResult("blame", blame_label=outcome.label, type=ty, calculus=calculus)
-    return RunResult("timeout", type=ty, calculus=calculus)
+        return RunResult("blame", blame_label=outcome.label, type=ty, calculus=calculus,
+                         engine=engine)
+    return RunResult("timeout", type=ty, calculus=calculus, engine=engine)
