@@ -1,4 +1,4 @@
-"""Experiment: the CEK machine engine versus the substitution-based oracle.
+"""Experiment: subst oracle vs CEK machine vs bytecode VM — the three engines.
 
 The paper argues λS is "implementation-ready": the space discipline should
 not make programs slower.  This PR goes further and makes the CEK machine —
@@ -7,13 +7,19 @@ the *primary engine*, keeping the paper-faithful substitution reducers as
 the reference oracle.  This suite quantifies that split: for each standard
 generated workload and each calculus it times
 
-* the machine engine (``repro.machine``, interning + memoised ``#``), and
+* the machine engine (``repro.machine``, interning + memoised ``#``),
 * the substitution interpreter (the literal rules of Figures 1, 3 and 5),
+  and
+* for λS, the bytecode VM (``repro.compiler``: flat instructions,
+  pre-interned coercion pool, pending-coercion slot) — the three-way
+  comparison, with both the machine-over-subst and vm-over-machine speedups
+  recorded,
 
-on the *same* pre-translated term, and records the speedup.  The boundary
-workloads (``even_odd``, ``typed_loop``, ``fib``) are the composition-heavy
-ones — every crossing composes mediating coercions — and are where the
-machine engine's memoised ``#`` pays off most.
+on the *same* pre-translated term.  The boundary workloads (``even_odd``,
+``typed_loop``, ``fib``) are the composition-heavy ones — every crossing
+composes mediating coercions — and are where the memoised ``#`` and the
+VM's integer dispatch pay off most.  ``benchmarks/bench_vm.py`` digs into
+the VM half in more detail.
 
 Standalone usage (writes the ``BENCH_interpreters.json`` artifact)::
 
@@ -36,6 +42,7 @@ from repro.gen.programs import (
     twice_boundary,
     typed_loop_untyped_step,
 )
+from repro.compiler import compile_term, run_code
 from repro.machine import MACHINES, run_on_machine
 from repro.properties.calculi import CALCULI
 from repro.translate import b_to_c, b_to_s
@@ -93,6 +100,21 @@ def build_suite(repeat: int) -> harness.Suite:
                 calculus=calculus,
                 workload=name,
             )
+            if calculus == "S":
+                code = compile_term(term_b)
+                v = suite.measure(
+                    f"vm/S/{name}",
+                    lambda code=code: run_code(code),
+                    check=lambda outcome: outcome.is_value,
+                    engine="vm", calculus="S", workload=name,
+                )
+                suite.record(
+                    f"speedup_vm/S/{name}",
+                    vm_vs_machine=round(m.best_s / v.best_s, 2),
+                    vm_vs_subst=round(o.best_s / v.best_s, 2),
+                    composition_heavy=heavy,
+                    workload=name,
+                )
     return suite
 
 

@@ -1,0 +1,131 @@
+"""Experiment: the bytecode VM versus the CEK machine (and the oracle).
+
+The compiler PR's claim: lowering elaborated λS terms to a flat bytecode —
+coercions pre-interned, variables resolved to frame slots, dispatch on small
+ints — beats the tree-walking CEK machine while preserving the λS space
+guarantee.  This suite quantifies both halves:
+
+* **time** — for each workload it times the λS CEK machine and the VM on the
+  same program (compilation excluded; it is measured separately) and records
+  the speedup.  The acceptance bar is ≥ 1.5× on the tail-loop and boundary
+  workloads; at the time of writing the VM wins by 2–13×.
+* **space** — it records the VM's ``max_pending_mediators``: constant (one
+  composed pending coercion) on the boundary tail loops regardless of the
+  iteration count, because ``COMPOSE`` merges result coercions into the live
+  frame's single pending slot instead of stacking frames.
+
+Standalone usage (writes the ``BENCH_vm.json`` artifact)::
+
+    python benchmarks/bench_vm.py --json
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+import harness
+
+from repro.compiler import compile_term, run_code
+from repro.gen.programs import (
+    even_odd_boundary,
+    even_odd_expected,
+    fib_boundary,
+    fib_expected,
+    let_chain_boundary,
+    tail_countdown_boundary,
+    typed_loop_untyped_step,
+)
+from repro.machine import run_on_machine
+
+#: name -> (λB term, correctness check, is a tail-loop/boundary workload)
+VM_WORKLOADS = {
+    "even_odd_400": (even_odd_boundary(400), lambda v: v is even_odd_expected(400), True),
+    "typed_loop_300": (typed_loop_untyped_step(300), lambda v: v == 0, True),
+    "tail_countdown_400": (tail_countdown_boundary(400), lambda v: v is True, True),
+    "let_chain_200": (let_chain_boundary(200), lambda v: v == 200, False),
+    "fib_12": (fib_boundary(12), lambda v: v == fib_expected(12), False),
+}
+
+SPEEDUP_TARGET = 1.5
+
+
+def build_suite(repeat: int) -> harness.Suite:
+    suite = harness.Suite("vm", repeat)
+    for name, (term_b, check, boundary) in VM_WORKLOADS.items():
+        suite.measure(
+            f"compile/{name}",
+            lambda term_b=term_b: compile_term(term_b),
+            workload=name, stage="compile",
+        )
+        code = compile_term(term_b)
+        machine = suite.measure(
+            f"machine/S/{name}",
+            lambda term_b=term_b: run_on_machine(term_b, "S"),
+            check=lambda outcome, check=check: outcome.is_value and check(outcome.python_value()),
+            engine="machine", workload=name,
+        )
+        stats_box: dict = {}
+
+        def vm_check(outcome, check=check, stats_box=stats_box):
+            stats_box["stats"] = outcome.stats  # reuse the warmup run's stats
+            return outcome.is_value and check(outcome.python_value())
+
+        vm = suite.measure(
+            f"vm/S/{name}",
+            lambda code=code: run_code(code),
+            check=vm_check,
+            engine="vm", workload=name,
+        )
+        stats = stats_box["stats"]
+        suite.record(
+            f"speedup/{name}",
+            vm_vs_machine=round(machine.best_s / vm.best_s, 2),
+            tail_loop_or_boundary=boundary,
+            meets_target=machine.best_s / vm.best_s >= SPEEDUP_TARGET,
+            workload=name,
+        )
+        suite.record(
+            f"space/{name}",
+            max_pending_mediators=stats["max_pending_mediators"],
+            max_pending_size=stats["max_pending_size"],
+            max_kont_depth=stats["max_kont_depth"],
+            vm_instructions=stats["steps"],
+            workload=name,
+        )
+    return suite
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (pytest benchmarks/bench_vm.py)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="vm-throughput")
+@pytest.mark.parametrize("name", sorted(VM_WORKLOADS))
+def test_vm_throughput(benchmark, name):
+    term_b, check, _ = VM_WORKLOADS[name]
+    code = compile_term(term_b)
+
+    def run():
+        return run_code(code)
+
+    outcome = benchmark(run)
+    assert outcome.is_value and check(outcome.python_value())
+    benchmark.extra_info["workload"] = name
+    benchmark.extra_info["vm_instructions"] = outcome.stats["steps"]
+    benchmark.extra_info["max_pending_mediators"] = outcome.stats["max_pending_mediators"]
+
+
+@pytest.mark.benchmark(group="vm-compile")
+@pytest.mark.parametrize("name", sorted(VM_WORKLOADS))
+def test_compile_throughput(benchmark, name):
+    term_b, _, _ = VM_WORKLOADS[name]
+    code = benchmark(lambda: compile_term(term_b))
+    assert code.instructions
+    benchmark.extra_info["workload"] = name
+
+
+if __name__ == "__main__":
+    sys.exit(harness.main("vm", build_suite))

@@ -1,0 +1,50 @@
+"""The compiler pipeline, end to end: surface → λB → λC → λS → bytecode → VM.
+
+Compiles the boundary-crossing tail loop, prints its disassembly (watch for
+``COMPOSE`` + ``TAILCALL`` — the two-opcode space-efficiency story), then
+runs it on both the VM and its oracle, the CEK machine, comparing values and
+space statistics.
+
+Run with ``python examples/vm_pipeline.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+import sys
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.compiler import compile_term, disassemble, run_code  # noqa: E402
+from repro.gen.programs import tail_countdown_boundary  # noqa: E402
+from repro.machine import run_on_machine  # noqa: E402
+
+N = 500
+
+
+def main() -> None:
+    term = tail_countdown_boundary(N)
+
+    code = compile_term(term)
+    print(f"=== bytecode for tail_countdown_boundary({N}) ===")
+    print(disassemble(code))
+
+    vm_outcome = run_code(code)
+    machine_outcome = run_on_machine(term, "S")
+
+    print("=== VM vs the CEK oracle ===")
+    print(f"vm      : {vm_outcome.python_value()!r}  stats={vm_outcome.stats}")
+    print(f"machine : {machine_outcome.python_value()!r}  stats={machine_outcome.stats}")
+    assert vm_outcome.python_value() == machine_outcome.python_value()
+
+    pending = vm_outcome.stats["max_pending_mediators"]
+    print(
+        f"\nThe VM crossed the boundary {N} times yet held at most {pending} pending "
+        "coercion(s):\nevery tail-position result coercion was COMPOSEd into the live "
+        "frame's slot with #,\nnever stacked — λS's space guarantee, preserved through "
+        "compilation."
+    )
+
+
+if __name__ == "__main__":
+    main()

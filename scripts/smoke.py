@@ -41,3 +41,10 @@ emb = embed(dyn_prog)
 print("embed B:", run_b(emb))
 print("embed C:", run_c(b_to_c(emb)))
 print("embed S:", run_s(b_to_s(emb)))
+
+# The bytecode VM agrees with all of the above on the λS pipeline.
+from repro.compiler import run_on_vm
+
+print("vm:", run_on_vm(term))
+print("vm bad:", run_on_vm(bad))
+print("vm embed:", run_on_vm(emb))

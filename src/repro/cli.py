@@ -4,7 +4,10 @@ Installed as ``repro-gradual``.  Subcommands:
 
 * ``run FILE``        — parse, type check, insert casts, evaluate (choose the
   calculus with ``--calculus`` and the engine with ``--engine``: the CEK
-  machine by default, or the substitution-based reference oracle).
+  machine by default, the bytecode VM with ``--engine vm``, or the
+  substitution-based reference oracle).
+* ``compile FILE``    — lower to λS bytecode and print the disassembly and
+  constant pool.
 * ``check FILE``      — static gradual type checking only.
 * ``translate FILE``  — print the elaborated λB term, or its λC / λS translation.
 * ``space N``         — reproduce the space-efficiency experiment for the
@@ -58,6 +61,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.kind == "value" else 1
 
 
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from .compiler import compile_term, disassemble
+
+    program = _load_program(args.file)
+    term, _ = elaborate_program(program)
+    print(disassemble(compile_term(term)))
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     program = _load_program(args.file)
     try:
@@ -105,14 +117,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run a gradual program")
     run_parser.add_argument("file")
     run_parser.add_argument("--calculus", choices=["B", "C", "S", "b", "c", "s"], default="S")
-    run_parser.add_argument("--engine", choices=["machine", "subst"], default="machine",
-                            help="execution engine: the CEK machine (default) or the "
-                                 "substitution-based reference oracle")
+    run_parser.add_argument("--engine", choices=["vm", "machine", "subst"], default="machine",
+                            help="execution engine: the CEK machine (default), the λS "
+                                 "bytecode VM, or the substitution-based reference oracle")
     run_parser.add_argument("--small-step", action="store_true",
                             help="alias for --engine subst (the paper-faithful small-step reducer)")
     run_parser.add_argument("--show-space", action="store_true", help="print space statistics")
     run_parser.add_argument("--fuel", type=int, default=None)
     run_parser.set_defaults(handler=_cmd_run)
+
+    compile_parser = sub.add_parser(
+        "compile", help="lower a program to λS bytecode and print the disassembly"
+    )
+    compile_parser.add_argument("file")
+    compile_parser.set_defaults(handler=_cmd_compile)
 
     check_parser = sub.add_parser("check", help="gradually type check a program")
     check_parser.add_argument("file")

@@ -1,0 +1,51 @@
+"""Bytecode compiler and coercion-aware VM — the fast λS engine.
+
+The pipeline (surface → λB → λC → λS → bytecode → VM)::
+
+    elaborated λB term
+        │  b_to_c, c_to_s            (Figures 4 & 6)
+        ▼
+    λS term
+        │  repro.compiler.lower      lexical addressing, pre-interned coercions
+        ▼
+    CodeObject over a ConstantPool   (repro.compiler.bytecode)
+        │  repro.compiler.vm         integer dispatch, pending-coercion slot
+        ▼
+    MachineOutcome (value / blame / timeout) with space statistics
+
+The CEK machine (:mod:`repro.machine`) remains the oracle for this engine:
+``repro.properties.bisimulation.check_vm_oracle`` runs the VM against both
+the machine and the substitution reducers and compares observables.
+"""
+
+from __future__ import annotations
+
+from .bytecode import CodeObject, ConstantPool, all_code_objects
+from .disasm import disassemble, instruction_streams, parse_disassembly
+from .lower import lower_program
+from .vm import (
+    DEFAULT_VM_FUEL,
+    THE_VM,
+    VM,
+    VMClosure,
+    compile_term,
+    run_code,
+    run_on_vm,
+)
+
+__all__ = [
+    "CodeObject",
+    "ConstantPool",
+    "all_code_objects",
+    "disassemble",
+    "instruction_streams",
+    "parse_disassembly",
+    "lower_program",
+    "DEFAULT_VM_FUEL",
+    "THE_VM",
+    "VM",
+    "VMClosure",
+    "compile_term",
+    "run_code",
+    "run_on_vm",
+]

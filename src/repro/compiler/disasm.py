@@ -1,0 +1,140 @@
+"""Disassembler and constant-pool pretty-printer for compiled programs.
+
+``disassemble`` renders a whole program — the entry code object, every
+nested code object, and the shared constant pool — as text::
+
+    code 0 <main>  (free=0, param=-, locals=2)
+       0  PUSH_CONST    0        ; 200 : int
+       1  MAKE_CLOSURE  1        ; code 1 λn
+       ...
+
+    pool coercions:
+       0: (id[bool] ; bool!)
+
+The instruction stream is machine-readable: :func:`parse_disassembly`
+recovers the exact ``(opcode, operand)`` lists from the text, and the round
+trip ``parse_disassembly(disassemble(code)) == instruction_streams(code)``
+is asserted by the test suite.  Pool entries are printed with their pretty
+forms for debugging; they are referenced by index, not re-parsed.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..core.errors import CompileError
+from .bytecode import (
+    BLAME,
+    COERCE,
+    COMPOSE,
+    JUMP,
+    JUMP_IF_FALSE,
+    LOAD,
+    MAKE_CLOSURE,
+    MAKE_FIX,
+    NO_OPERAND,
+    OPCODE_NAMES,
+    OPCODES_BY_NAME,
+    PRIM,
+    PUSH_CONST,
+    STORE,
+    CodeObject,
+    all_code_objects,
+)
+
+_INSTR_RE = re.compile(r"^\s*(\d+)\s+([A-Z_]+)(?:\s+(-?\d+))?\s*(?:;.*)?$")
+_CODE_RE = re.compile(r"^code\s+(\d+)\s+(\S+)")
+
+
+def _comment(code: CodeObject, opcode: int, operand: int) -> str:
+    pool = code.pool
+    if opcode == PUSH_CONST or opcode == MAKE_FIX:
+        return str(pool.consts[operand])
+    if opcode == LOAD or opcode == STORE:
+        names = code.local_names
+        return names[operand] if operand < len(names) else "?"
+    if opcode == COERCE or opcode == COMPOSE:
+        return str(pool.coercions[operand])
+    if opcode == BLAME:
+        return str(pool.labels[operand])
+    if opcode == PRIM:
+        _, arity, _, name = pool.prims[operand]
+        return f"{name}/{arity}"
+    if opcode == MAKE_CLOSURE:
+        child = pool.codes[operand]
+        return f"code {operand + 1} {child.name}"
+    if opcode == JUMP or opcode == JUMP_IF_FALSE:
+        return f"-> {operand}"
+    return ""
+
+
+def disassemble(code: CodeObject) -> str:
+    """Render a compiled program (entry code + nested codes + pools) as text."""
+    lines: list[str] = []
+    for index, obj in enumerate(all_code_objects(code)):
+        param = obj.param if obj.param is not None else "-"
+        lines.append(
+            f"code {index} {obj.name}  (free={obj.n_free}, param={param}, locals={obj.n_locals})"
+        )
+        for pc, (opcode, operand) in enumerate(obj.instructions):
+            name = OPCODE_NAMES[opcode]
+            comment = _comment(obj, opcode, operand)
+            suffix = f"        ; {comment}" if comment else ""
+            if opcode in NO_OPERAND:
+                lines.append(f"  {pc:4d}  {name}{suffix}")
+            else:
+                lines.append(f"  {pc:4d}  {name:<14}{operand}{suffix}")
+        lines.append("")
+
+    pool = code.pool
+    if pool.consts:
+        lines.append("pool consts:")
+        for i, value in enumerate(pool.consts):
+            lines.append(f"  {i}: {value}")
+        lines.append("")
+    if pool.coercions:
+        lines.append("pool coercions:")
+        for i, coercion in enumerate(pool.coercions):
+            lines.append(f"  {i}: {coercion}")
+        lines.append("")
+    if pool.labels:
+        lines.append("pool labels:")
+        for i, label in enumerate(pool.labels):
+            lines.append(f"  {i}: {label}")
+        lines.append("")
+    if pool.prims:
+        lines.append("pool prims:")
+        for i, (_, arity, result_type, name) in enumerate(pool.prims):
+            lines.append(f"  {i}: {name}/{arity} -> {result_type}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def instruction_streams(code: CodeObject) -> list[list[tuple[int, int]]]:
+    """The program's raw ``(opcode, operand)`` lists, entry code first."""
+    return [list(obj.instructions) for obj in all_code_objects(code)]
+
+
+def parse_disassembly(text: str) -> list[list[tuple[int, int]]]:
+    """Recover the instruction streams from disassembly text (the round trip)."""
+    streams: list[list[tuple[int, int]]] = []
+    current: list[tuple[int, int]] | None = None
+    for line in text.splitlines():
+        if _CODE_RE.match(line):
+            current = []
+            streams.append(current)
+            continue
+        if current is None or not line.strip() or line.startswith("pool"):
+            current = None if (line.startswith("pool") or not line.strip()) else current
+            continue
+        match = _INSTR_RE.match(line)
+        if not match:
+            raise CompileError(f"unparseable disassembly line: {line!r}")
+        pc, name, operand = match.groups()
+        opcode = OPCODES_BY_NAME.get(name)
+        if opcode is None:
+            raise CompileError(f"unknown opcode in disassembly: {name!r}")
+        if int(pc) != len(current):
+            raise CompileError(f"out-of-order pc in disassembly: {line!r}")
+        current.append((opcode, int(operand) if operand is not None else 0))
+    return streams

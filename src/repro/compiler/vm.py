@@ -1,0 +1,291 @@
+"""The coercion-aware bytecode VM — the fast λS engine.
+
+One Python-level loop executes the flat instruction stream produced by
+:mod:`repro.compiler.lower`.  Dispatch is an integer comparison chain ordered
+by dynamic frequency (the closest Python gets to threaded code); every
+operand is a pool index resolved at compile time, so the hot loop touches no
+term, type, or name structure at all.  Compare the CEK machine, which pays
+an ``isinstance`` ladder over AST nodes plus an environment-dictionary copy
+per binding on every step.
+
+Space efficiency lives in one slot per call frame: ``pending``, the single
+canonical coercion to apply to the frame's eventual result.
+
+* ``COMPOSE s`` merges ``s`` into the live frame's slot with the memoised
+  ``#`` — it never pushes a frame;
+* ``TAILCALL`` reuses the frame (the slot survives, composed);
+* unwrapping a function proxy folds the proxy's codomain coercion into the
+  same discipline: ``CALL`` seeds the callee's slot, ``TAILCALL`` composes
+  into the caller's.
+
+So at any instant each frame holds at most one pending coercion — composed,
+never stacked — and a boundary-crossing tail loop runs with
+``max_pending_mediators == 1`` no matter how many iterations it makes.  The
+shared :class:`~repro.machine.profiler.MachineStats` accounting makes this
+directly comparable with the CEK machine's numbers (and is asserted by
+``tests/test_compiler.py`` and ``benchmarks/bench_vm.py``).
+
+The VM executes λS only; ``run_on_vm`` translates a λB program first,
+mirroring ``run_on_machine``.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import EvaluationError
+from ..core.terms import Term
+from ..lambda_s.coercions import FunCo, ProdCo, compose_memo
+from ..machine.cek import MachineOutcome
+from ..machine.policy import SPACE_POLICY, MachineBlame
+from ..machine.profiler import MachineStats
+from ..machine.values import MConst, MFixWrap, MFunctionValue, MPair, MProxy
+from .bytecode import (
+    BLAME,
+    CALL,
+    COERCE,
+    COMPOSE,
+    FST,
+    JUMP,
+    JUMP_IF_FALSE,
+    LOAD,
+    MAKE_CLOSURE,
+    MAKE_FIX,
+    PAIR,
+    PRIM,
+    PUSH_CONST,
+    RETURN,
+    SND,
+    STORE,
+    TAILCALL,
+    CodeObject,
+    ConstantPool,
+)
+
+DEFAULT_VM_FUEL = 20_000_000
+
+
+class VMClosure(MFunctionValue):
+    """A compiled function: its code object plus the captured free values."""
+
+    __slots__ = ("code", "free")
+
+    def __init__(self, code: CodeObject, free: tuple):
+        self.code = code
+        self.free = free
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<vm-closure {self.code.name}>"
+
+
+def _make_fix_apply_code() -> CodeObject:
+    """The built-in unrolling step ``(fix V) W → (V (fix V-wrapper)) W``.
+
+    Locals: ``[functional, wrapper, argument]``.  The final ``TAILCALL``
+    reuses the frame, so fix unrolling itself costs no stack.
+    """
+    instructions = [(LOAD, 0), (LOAD, 1), (CALL, 0), (LOAD, 2), (TAILCALL, 0)]
+    return CodeObject("<fix-apply>", instructions, ConstantPool(), 0, 3, None, ("V", "wrap", "arg"))
+
+
+_FIX_APPLY = _make_fix_apply_code()
+
+
+def _project(value, first: bool):
+    """Project a pair (or pair proxy) — mirrors the CEK machine's ``_project``."""
+    if isinstance(value, MPair):
+        return value.left if first else value.right
+    if isinstance(value, MProxy) and isinstance(value.mediator, ProdCo):
+        part = value.mediator.left if first else value.mediator.right
+        return SPACE_POLICY.apply(_project(value.under, first), part)
+    raise EvaluationError(f"projection of a non-pair value: {value!r}")
+
+
+class VM:
+    """Executes one compiled program.  Stateless between runs; reusable."""
+
+    def run(self, code: CodeObject, fuel: int = DEFAULT_VM_FUEL) -> MachineOutcome:
+        stats = MachineStats()
+        pool = code.pool
+        consts = pool.consts
+        coercions = pool.coercions
+        labels = pool.labels
+        prims = pool.prims
+        codes = pool.codes
+
+        apply_co = SPACE_POLICY.apply
+        co_size = SPACE_POLICY.size
+        applications = 0
+
+        stack: list = []  # the operand stack, shared across frames
+        frames: list = []  # saved caller frames: (insns, pc, locals, pending)
+        insns = code.instructions
+        pc = 0
+        locals_: list = [None] * code.n_locals
+        pending = None  # the frame's single pending result coercion
+
+        try:
+            for executed in range(fuel):
+                op, operand = insns[pc]
+                pc += 1
+
+                if op == LOAD:
+                    stack.append(locals_[operand])
+                elif op == PUSH_CONST:
+                    stack.append(consts[operand])
+                elif op == PRIM:
+                    fn, arity, result_type, name = prims[operand]
+                    if arity == 1:
+                        a = stack[-1]
+                        if a.__class__ is not MConst:
+                            raise EvaluationError(
+                                f"operator {name!r} applied to a non-constant: {a!r}"
+                            )
+                        stack[-1] = MConst(fn(a.value), result_type)
+                    elif arity == 2:
+                        b = stack.pop()
+                        a = stack[-1]
+                        if a.__class__ is not MConst or b.__class__ is not MConst:
+                            raise EvaluationError(
+                                f"operator {name!r} applied to a non-constant"
+                            )
+                        stack[-1] = MConst(fn(a.value, b.value), result_type)
+                    else:
+                        raw = []
+                        for operand_value in reversed([stack.pop() for _ in range(arity)]):
+                            if operand_value.__class__ is not MConst:
+                                raise EvaluationError(
+                                    f"operator {name!r} applied to a non-constant"
+                                )
+                            raw.append(operand_value.value)
+                        stack.append(MConst(fn(*raw), result_type))
+                elif op == JUMP_IF_FALSE:
+                    cond = stack.pop()
+                    if cond.__class__ is not MConst or not isinstance(cond.value, bool):
+                        raise EvaluationError(f"if-condition is not a boolean: {cond!r}")
+                    if not cond.value:
+                        pc = operand
+                elif op == JUMP:
+                    pc = operand
+                elif op == CALL or op == TAILCALL:
+                    arg = stack.pop()
+                    fun = stack.pop()
+                    result_co = None
+                    # Unwrap proxy layers: coerce the argument now, defer the
+                    # result coercion into a pending slot.
+                    while fun.__class__ is MProxy:
+                        mediator = fun.mediator
+                        if not isinstance(mediator, FunCo):
+                            break
+                        applications += 1
+                        arg = apply_co(arg, mediator.dom)
+                        cod = mediator.cod
+                        result_co = cod if result_co is None else compose_memo(cod, result_co)
+                        fun = fun.under
+                    if fun.__class__ is VMClosure:
+                        callee = fun.code
+                        new_locals = list(fun.free)
+                        new_locals.append(arg)
+                        extra = callee.n_locals - len(new_locals)
+                        if extra:
+                            new_locals.extend([None] * extra)
+                    elif fun.__class__ is MFixWrap:
+                        functional = fun.functional
+                        callee = _FIX_APPLY
+                        new_locals = [functional, MFixWrap(functional, fun.fun_type), arg]
+                    else:
+                        raise EvaluationError(f"application of a non-function value: {fun!r}")
+                    if op == CALL:
+                        frames.append((insns, pc, locals_, pending))
+                        stats.note_depth(len(frames))
+                        pending = result_co
+                        if result_co is not None:
+                            stats.push_mediator(co_size(result_co))
+                    else:  # TAILCALL: reuse the frame, keep the pending slot
+                        if result_co is not None:
+                            if pending is None:
+                                pending = result_co
+                                stats.push_mediator(co_size(result_co))
+                            else:
+                                merged = compose_memo(result_co, pending)
+                                stats.replace_mediator(co_size(pending), co_size(merged))
+                                pending = merged
+                    insns = callee.instructions
+                    pc = 0
+                    locals_ = new_locals
+                elif op == COMPOSE:
+                    coercion = coercions[operand]
+                    if pending is None:
+                        pending = coercion
+                        stats.push_mediator(co_size(coercion))
+                    else:
+                        merged = compose_memo(coercion, pending)
+                        stats.replace_mediator(co_size(pending), co_size(merged))
+                        pending = merged
+                elif op == COERCE:
+                    applications += 1
+                    stack[-1] = apply_co(stack[-1], coercions[operand])
+                elif op == RETURN:
+                    value = stack.pop()
+                    if pending is not None:
+                        applications += 1
+                        stats.pop_mediator(co_size(pending))
+                        value = apply_co(value, pending)
+                    if not frames:
+                        stats.steps = executed + 1
+                        stats.mediator_applications = applications
+                        return MachineOutcome("value", value=value, stats=stats.snapshot())
+                    insns, pc, locals_, pending = frames.pop()
+                    stack.append(value)
+                elif op == STORE:
+                    locals_[operand] = stack.pop()
+                elif op == MAKE_CLOSURE:
+                    child = codes[operand]
+                    n_free = child.n_free
+                    if n_free:
+                        free = tuple(stack[-n_free:])
+                        del stack[-n_free:]
+                    else:
+                        free = ()
+                    stack.append(VMClosure(child, free))
+                elif op == MAKE_FIX:
+                    stack.append(MFixWrap(stack.pop(), consts[operand]))
+                elif op == PAIR:
+                    right = stack.pop()
+                    stack[-1] = MPair(stack[-1], right)
+                elif op == FST:
+                    stack[-1] = _project(stack[-1], first=True)
+                elif op == SND:
+                    stack[-1] = _project(stack[-1], first=False)
+                elif op == BLAME:
+                    raise MachineBlame(labels[operand])
+                else:  # pragma: no cover - defensive
+                    raise EvaluationError(f"unknown opcode: {op}")
+        except MachineBlame as blame:
+            stats.steps = executed + 1
+            stats.mediator_applications = applications
+            return MachineOutcome("blame", label=blame.label, stats=stats.snapshot())
+
+        stats.steps = fuel
+        stats.mediator_applications = applications
+        return MachineOutcome("timeout", stats=stats.snapshot())
+
+
+#: The shared, stateless VM instance.
+THE_VM = VM()
+
+
+def compile_term(term_b: Term) -> CodeObject:
+    """Compile an elaborated λB term: translate ``|·|BC`` then ``|·|CS``, lower."""
+    from ..translate import b_to_c, c_to_s
+    from .lower import lower_program
+
+    return lower_program(c_to_s(b_to_c(term_b)))
+
+
+def run_on_vm(term_b: Term, fuel: int = DEFAULT_VM_FUEL) -> MachineOutcome:
+    """Compile a λB term to bytecode and run it on the VM (λS semantics)."""
+    return THE_VM.run(compile_term(term_b), fuel)
+
+
+def run_code(code: CodeObject, fuel: int = DEFAULT_VM_FUEL) -> MachineOutcome:
+    """Run an already-compiled program on the shared VM instance."""
+    return THE_VM.run(code, fuel)

@@ -64,3 +64,15 @@ class FuelExhausted(ReproError):
 
 class EvaluationError(ReproError):
     """An internal invariant of an evaluator was violated (e.g. bad operands)."""
+
+
+class CompileError(ReproError):
+    """The bytecode compiler rejected a term it cannot lower."""
+
+
+class UsageError(ReproError, ValueError):
+    """An invalid engine/calculus combination or similar caller mistake.
+
+    Doubles as a :class:`ValueError` so library callers can keep catching
+    that, while the CLI's single ``except ReproError`` reports it cleanly.
+    """

@@ -170,6 +170,68 @@ def typed_loop_untyped_step(n: int) -> Term:
     return Let("dec", dec_untyped, App(loop, const_int(n)))
 
 
+def tail_countdown_boundary(n: int) -> Term:
+    """A deep tail recursion whose boolean result crosses ``?`` on every call.
+
+    ``countdown : int→bool`` returns through an inject/project round trip at
+    each of its ``n`` tail calls — the purest VM stress shape: a naive
+    engine stacks ``n`` pending result coercions, a space-efficient one
+    composes them into a single pending slot (``COMPOSE`` + ``TAILCALL``).
+    Expected value: ``True``.
+    """
+    supply = _labels("tc")
+    body = Lam(
+        "n",
+        INT,
+        If(
+            Op("zero?", (Var("n"),)),
+            const_bool(True),
+            Cast(
+                Cast(
+                    App(Var("countdown"), Op("-", (Var("n"), const_int(1)))),
+                    BOOL,
+                    DYN,
+                    supply.fresh("inj"),
+                ),
+                DYN,
+                BOOL,
+                supply.fresh("proj"),
+            ),
+        ),
+    )
+    countdown = Fix(Lam("countdown", INT_TO_BOOL, body), INT_TO_BOOL)
+    return App(countdown, const_int(n))
+
+
+def let_chain_boundary(depth: int) -> Term:
+    """A let-heavy chain: every binding crosses the boundary and is projected back.
+
+    ``x0 = 0`` is injected into ``?``; each of the ``depth`` subsequent lets
+    projects the previous binding out of ``?``, increments it, and re-injects
+    it.  Stress-tests the compiler's slot allocation and scope handling (one
+    frame with ``depth + 1`` locals) and immediate ``COERCE`` traffic.
+    Expected value: ``depth``.
+    """
+    supply = _labels("let")
+    inner: Term = Cast(Var(f"x{depth}"), DYN, INT, supply.fresh("out"))
+    term = inner
+    for i in range(depth, 0, -1):
+        bound = Cast(
+            Op(
+                "+",
+                (
+                    Cast(Var(f"x{i - 1}"), DYN, INT, supply.fresh(f"proj{i}")),
+                    const_int(1),
+                ),
+            ),
+            INT,
+            DYN,
+            supply.fresh(f"inj{i}"),
+        )
+        term = Let(f"x{i}", bound, term)
+    return Let("x0", Cast(const_int(0), INT, DYN, supply.fresh("inj0")), term)
+
+
 def fib_boundary(n: int) -> Term:
     """Fibonacci where every recursive call goes through the dynamic type.
 
@@ -334,6 +396,8 @@ WORKLOADS = {
     "even_odd_boundary": even_odd_boundary,
     "even_odd_all_typed": even_odd_all_typed,
     "typed_loop_untyped_step": typed_loop_untyped_step,
+    "tail_countdown_boundary": tail_countdown_boundary,
+    "let_chain_boundary": let_chain_boundary,
     "fib_boundary": fib_boundary,
     "twice_boundary": twice_boundary,
     "deep_cast_chain": deep_cast_chain,

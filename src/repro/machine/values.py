@@ -27,6 +27,17 @@ class MachineValue:
     __slots__ = ()
 
 
+class MFunctionValue(MachineValue):
+    """Marker base for function-like values (closures, fix wrappers).
+
+    The bytecode VM (:mod:`repro.compiler.vm`) has its own closure
+    representation; subclassing this marker is all it takes for the shared
+    projection :func:`machine_value_to_python` to report it as a function.
+    """
+
+    __slots__ = ()
+
+
 @dataclass(frozen=True)
 class MConst(MachineValue):
     value: object
@@ -34,7 +45,7 @@ class MConst(MachineValue):
 
 
 @dataclass(frozen=True)
-class MClosure(MachineValue):
+class MClosure(MFunctionValue):
     param: str
     param_type: Type
     body: Term
@@ -56,7 +67,7 @@ class MProxy(MachineValue):
 
 
 @dataclass(frozen=True)
-class MFixWrap(MachineValue):
+class MFixWrap(MFunctionValue):
     """The value of ``fix V``'s unrolling wrapper ``λx. (fix V) x``."""
 
     functional: MachineValue
@@ -111,6 +122,6 @@ def machine_value_to_python(value: MachineValue) -> object:
         return (machine_value_to_python(value.left), machine_value_to_python(value.right))
     if isinstance(value, MProxy):
         return machine_value_to_python(value.under)
-    if isinstance(value, (MClosure, MFixWrap)):
+    if isinstance(value, MFunctionValue):
         return "<function>"
     raise TypeError(f"unknown machine value: {value!r}")

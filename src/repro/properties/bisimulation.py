@@ -106,17 +106,23 @@ def check_outcomes_c_s(term_c: Term, fuel: int = 50_000) -> BisimulationReport:
     """Check that a λC term and its λS translation agree observationally.
 
     Also verifies the space-efficiency invariant: along the λS trace, the
-    longest chain of stacked coercion applications never exceeds the static
-    nesting already present in the translated program plus one (one extra
-    level appears transiently between a rule firing and the merge that
-    immediately follows it).  In λC, by contrast, this chain is unbounded —
-    that contrast is measured by ``benchmarks/bench_space.py``.
+    longest chain of stacked coercion applications never exceeds
+    ``2·static + 1``, where ``static`` is the nesting already present in the
+    translated program.  The transient worst case arises when a ``let`` or β
+    step dissolves a binder and fuses three previously separated chains: the
+    coercions above the redex (≤ static), the coercions around the
+    substituted variable (≤ static), and the value's own coercion layer
+    (≤ 1, by the λS value grammar).  The merge rule then fires with priority
+    until the chain is a single coercion, before any other redex runs, so
+    the bound is invariant along the whole trace.  In λC, by contrast, this
+    chain is unbounded — that contrast is measured by
+    ``benchmarks/bench_space.py``.
     """
     term_s = term_to_lambda_s(term_c)
 
     outcome_c = LAMBDA_C.run(term_c, fuel)
     steps_c = outcome_c.steps
-    static_bound = max(max_adjacent_merged_coercions(term_s), 1) + 1
+    static_bound = 2 * max(max_adjacent_merged_coercions(term_s), 1) + 1
 
     # Walk the λS trace explicitly so we can check the merge invariant.
     current = term_s
@@ -241,40 +247,12 @@ def check_engine_oracle(
     oracle_outcome = CALCULI[calculus].run(oracle_term, subst_fuel)
 
     steps_m = (machine_outcome.stats or {}).get("steps", 0)
-    steps_o = oracle_outcome.steps
-
-    if machine_outcome.is_timeout or oracle_outcome.is_timeout:
-        if machine_outcome.is_timeout and oracle_outcome.is_timeout:
-            return BisimulationReport(True, steps_m, steps_o)
-        ok = not strict_timeouts
-        return BisimulationReport(
-            ok, steps_m, steps_o,
-            "inconclusive: one side exhausted its fuel", term_b, oracle_term,
-        )
-
-    if machine_outcome.is_blame or oracle_outcome.is_blame:
-        if not (machine_outcome.is_blame and oracle_outcome.is_blame):
-            return BisimulationReport(
-                False, steps_m, steps_o,
-                "engine and oracle disagree on blame", term_b, oracle_term,
-            )
-        if machine_outcome.label != oracle_outcome.label:
-            return BisimulationReport(
-                False, steps_m, steps_o,
-                f"blame labels differ: {machine_outcome.label} vs {oracle_outcome.label}",
-                term_b, oracle_term,
-            )
-        return BisimulationReport(True, steps_m, steps_o)
-
-    engine_value = machine_outcome.python_value()
-    oracle_value = reducer_value_to_python(oracle_outcome.term)
-    if engine_value != oracle_value:
-        return BisimulationReport(
-            False, steps_m, steps_o,
-            f"values differ: engine {engine_value!r} vs oracle {oracle_value!r}",
-            term_b, oracle_term,
-        )
-    return BisimulationReport(True, steps_m, steps_o)
+    return _compare_outcomes(
+        machine_outcome, oracle_outcome, steps_m, oracle_outcome.steps,
+        "engine", "oracle", term_b, strict_timeouts,
+        project_right=lambda outcome: reducer_value_to_python(outcome.term),
+        right_term=oracle_term,
+    )
 
 
 def check_engine_oracle_all(term_b: Term, **kwargs) -> BisimulationReport:
@@ -284,3 +262,111 @@ def check_engine_oracle_all(term_b: Term, **kwargs) -> BisimulationReport:
         if not report.ok:
             return report
     return report
+
+
+# ---------------------------------------------------------------------------
+# VM ↔ oracles: the bytecode VM against the CEK machine and the reducers
+# ---------------------------------------------------------------------------
+
+
+def check_vm_oracle(
+    term_b: Term,
+    vm_fuel: int = 10_000_000,
+    machine_fuel: int = 2_000_000,
+    subst_fuel: int = 100_000,
+    strict_timeouts: bool = False,
+    check_subst: bool = True,
+) -> BisimulationReport:
+    """Check the bytecode VM against its oracles on one λB program.
+
+    Exactly as PR 1 kept the substitution reducers as the machine's oracle,
+    the CEK machine is the VM's oracle: the program is compiled to bytecode
+    and run on the VM, run on the λS CEK machine, and (unless
+    ``check_subst=False``) run on the λS substitution reducer; all
+    observables must agree — the projected value, the blame *label*, or
+    timeout.  As in :func:`check_engine_oracle`, the fuels are in different
+    units, so a timeout on only one side is inconclusive rather than a
+    failure unless ``strict_timeouts``.
+
+    Additionally sanity-checks the VM's space accounting: the run must never
+    report more pending coercions than live frames
+    (``max_pending_mediators ≤ max_kont_depth + 1``).  This is a structural
+    invariant of the one-pending-slot-per-frame design; the sharper,
+    workload-scaling guarantee — a pending footprint *constant in the
+    iteration count* on boundary tail loops — is asserted by
+    ``tests/test_compiler.py`` (two sizes compared) and recorded per
+    workload by ``benchmarks/bench_vm.py``.
+    """
+    from ..compiler import run_on_vm
+    from ..machine import run_on_machine
+
+    vm_outcome = run_on_vm(term_b, vm_fuel)
+    machine_outcome = run_on_machine(term_b, "S", machine_fuel)
+
+    steps_vm = (vm_outcome.stats or {}).get("steps", 0)
+    steps_m = (machine_outcome.stats or {}).get("steps", 0)
+
+    stats = vm_outcome.stats or {}
+    if stats.get("max_pending_mediators", 0) > stats.get("max_kont_depth", 0) + 1:
+        return BisimulationReport(
+            False, steps_vm, steps_m,
+            f"VM stacked pending coercions: {stats['max_pending_mediators']} pending "
+            f"across {stats['max_kont_depth'] + 1} frames",
+            term_b, None,
+        )
+
+    report = _compare_outcomes(vm_outcome, machine_outcome, steps_vm, steps_m,
+                               "VM", "machine", term_b, strict_timeouts)
+    if not report.ok or not check_subst:
+        return report
+
+    oracle_outcome = CALCULI["S"].run(
+        term_to_lambda_s(term_to_lambda_c(term_b)), subst_fuel
+    )
+    return _compare_outcomes(
+        vm_outcome, oracle_outcome, steps_vm, oracle_outcome.steps,
+        "VM", "subst", term_b, strict_timeouts,
+        project_right=lambda outcome: reducer_value_to_python(outcome.term),
+    )
+
+
+def _compare_outcomes(left, right, steps_l, steps_r, name_l, name_r, term_b,
+                      strict_timeouts, project_right=None,
+                      right_term: Term | None = None) -> BisimulationReport:
+    """Compare two outcomes observably (timeout / blame label / value).
+
+    Works for both :class:`MachineOutcome`-shaped results (the default
+    projection is ``python_value()``) and, on the right, reducer
+    ``Outcome``\\ s (pass a projection over ``outcome.term``).  Failure
+    reports carry ``term_b`` and, when given, the right side's translated
+    term for debugging.
+    """
+    if left.is_timeout or right.is_timeout:
+        if left.is_timeout and right.is_timeout:
+            return BisimulationReport(True, steps_l, steps_r)
+        return BisimulationReport(
+            not strict_timeouts, steps_l, steps_r,
+            "inconclusive: one side exhausted its fuel", term_b, right_term,
+        )
+    if left.is_blame or right.is_blame:
+        if not (left.is_blame and right.is_blame):
+            return BisimulationReport(
+                False, steps_l, steps_r,
+                f"{name_l} and {name_r} disagree on blame", term_b, right_term,
+            )
+        if left.label != right.label:
+            return BisimulationReport(
+                False, steps_l, steps_r,
+                f"blame labels differ: {name_l} {left.label} vs {name_r} {right.label}",
+                term_b, right_term,
+            )
+        return BisimulationReport(True, steps_l, steps_r)
+    value_l = left.python_value()
+    value_r = project_right(right) if project_right else right.python_value()
+    if value_l != value_r:
+        return BisimulationReport(
+            False, steps_l, steps_r,
+            f"values differ: {name_l} {value_l!r} vs {name_r} {value_r!r}",
+            term_b, right_term,
+        )
+    return BisimulationReport(True, steps_l, steps_r)

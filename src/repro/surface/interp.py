@@ -1,42 +1,63 @@
 """Run surface programs end to end: parse → type check → insert casts → evaluate.
 
-The CEK machine (:mod:`repro.machine`) is the primary engine: it is the
-default for every calculus, runs on interned types and coercions, merges
-pending λS coercions with the memoised ``#``, and reports space statistics.
-The paper-faithful substitution reducers are retained as the *reference
-oracle* — the literal reduction rules of Figures 1, 3 and 5 — selectable
-with ``engine="subst"`` and checked against the machine by the bisimulation
-property tests.
+Three engines share one result type:
+
+* ``engine="vm"`` — the **bytecode VM** (:mod:`repro.compiler`): elaborated
+  terms are lowered to a flat instruction stream with pre-interned coercions
+  and executed by an integer-dispatch loop whose single pending-coercion
+  slot per frame preserves λS's space guarantee.  λS only; the fastest
+  engine.
+* ``engine="machine"`` (default) — the CEK machine (:mod:`repro.machine`):
+  interned types and coercions, memoised ``#``, available for all three
+  calculi, and the *oracle for the VM*.
+* ``engine="subst"`` — the paper-faithful substitution reducers (the literal
+  reduction rules of Figures 1, 3 and 5), the reference oracle for both.
+
+Fuel exhaustion is reported **uniformly**: every engine yields
+``RunResult(kind="timeout", steps=<fuel spent>)`` — the same outcome type
+with the engine's step count, never an engine-specific exception or value.
+(The step *units* differ by engine: machine transitions, VM instructions,
+reduction steps.)
 
 Backends are therefore a pair of knobs:
 
 * ``calculus`` — ``"B"``, ``"C"``, or ``"S"``: which calculus the elaborated
-  program is translated into;
-* ``engine`` — ``"machine"`` (default) or ``"subst"`` (the oracle).
+  program is translated into (the VM supports ``"S"`` only);
+* ``engine`` — ``"vm"``, ``"machine"`` (default), or ``"subst"``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..compiler.vm import DEFAULT_VM_FUEL, run_on_vm
+from ..core.errors import UsageError
 from ..core.labels import Label
 from ..core.terms import Term
 from ..core.types import Type
 from ..lambda_b import reduction as reduction_b
 from ..lambda_c import reduction as reduction_c
 from ..lambda_s import reduction as reduction_s
-from ..machine import run_on_machine
+from ..machine import DEFAULT_MACHINE_FUEL, run_on_machine
 from ..translate import b_to_c, c_to_s
 from .cast_insertion import elaborate_program
 from .parser import parse_program
 
-#: The two execution engines: the production machine and the reference oracle.
-ENGINES = ("machine", "subst")
+#: The three execution engines: the bytecode VM, the CEK machine, and the
+#: substitution-based reference oracle.
+ENGINES = ("vm", "machine", "subst")
+
+#: Default fuel per engine, in that engine's own step unit.
+DEFAULT_FUEL = {"vm": DEFAULT_VM_FUEL, "machine": DEFAULT_MACHINE_FUEL, "subst": 200_000}
 
 
 @dataclass(frozen=True)
 class RunResult:
-    """The outcome of running a surface program."""
+    """The outcome of running a surface program.
+
+    ``kind`` is ``"value"``, ``"blame"``, or ``"timeout"``; the timeout shape
+    is identical for every engine (``steps`` holds the fuel spent).
+    """
 
     kind: str  # 'value' | 'blame' | 'timeout'
     value: object = None
@@ -45,6 +66,7 @@ class RunResult:
     calculus: str = "S"
     engine: str = "machine"
     space_stats: dict | None = None
+    steps: int = 0
 
     @property
     def is_value(self) -> bool:
@@ -54,12 +76,16 @@ class RunResult:
     def is_blame(self) -> bool:
         return self.kind == "blame"
 
+    @property
+    def is_timeout(self) -> bool:
+        return self.kind == "timeout"
+
     def __str__(self) -> str:  # pragma: no cover - presentation
         if self.kind == "value":
             return f"{self.value!r} : {self.type}"
         if self.kind == "blame":
             return f"blame {self.blame_label}"
-        return "timeout"
+        return f"timeout after {self.steps} {self.engine} steps"
 
 
 def compile_source(source: str) -> tuple[Term, Type]:
@@ -101,34 +127,54 @@ def run_term(
     """Run an elaborated λB term on the chosen calculus and engine."""
     calculus = calculus.upper()
     engine = _resolve_engine(engine, use_machine)
-    if engine == "machine":
-        outcome = run_on_machine(term, calculus, fuel or 5_000_000)
-        if outcome.is_value:
-            return RunResult("value", outcome.python_value(), type=ty, calculus=calculus,
-                             engine=engine, space_stats=outcome.stats)
-        if outcome.is_blame:
-            return RunResult("blame", blame_label=outcome.label, type=ty, calculus=calculus,
-                             engine=engine, space_stats=outcome.stats)
-        return RunResult("timeout", type=ty, calculus=calculus, engine=engine,
-                         space_stats=outcome.stats)
+    if fuel is None:
+        fuel = DEFAULT_FUEL[engine]
 
-    step_fuel = fuel or 200_000
+    if engine == "vm":
+        if calculus != "S":
+            raise UsageError(
+                f"engine 'vm' implements λS only (requested calculus {calculus!r}); "
+                "use engine='machine' for λB or λC"
+            )
+        outcome = run_on_vm(term, fuel)
+        return _from_machine_outcome(outcome, ty, calculus, engine)
+
+    if engine == "machine":
+        outcome = run_on_machine(term, calculus, fuel)
+        return _from_machine_outcome(outcome, ty, calculus, engine)
+
     if calculus == "B":
-        outcome = reduction_b.run(term, step_fuel)
+        outcome = reduction_b.run(term, fuel)
     elif calculus == "C":
-        outcome = reduction_c.run(b_to_c(term), step_fuel)
+        outcome = reduction_c.run(b_to_c(term), fuel)
     elif calculus == "S":
-        outcome = reduction_s.run(c_to_s(b_to_c(term)), step_fuel)
+        outcome = reduction_s.run(c_to_s(b_to_c(term)), fuel)
     else:
         raise ValueError(f"unknown calculus {calculus!r}")
     if outcome.is_value:
-        # Same projection as the machine engine's python_value(), so the two
-        # engines' RunResult.value are directly comparable.
+        # Same projection as the machine/VM engines' python_value(), so every
+        # engine's RunResult.value is directly comparable.
         from ..properties.bisimulation import reducer_value_to_python
 
         value = reducer_value_to_python(outcome.term)
-        return RunResult("value", value, type=ty, calculus=calculus, engine=engine)
+        return RunResult("value", value, type=ty, calculus=calculus, engine=engine,
+                         steps=outcome.steps)
     if outcome.is_blame:
         return RunResult("blame", blame_label=outcome.label, type=ty, calculus=calculus,
-                         engine=engine)
-    return RunResult("timeout", type=ty, calculus=calculus, engine=engine)
+                         engine=engine, steps=outcome.steps)
+    return RunResult("timeout", type=ty, calculus=calculus, engine=engine,
+                     steps=outcome.steps)
+
+
+def _from_machine_outcome(outcome, ty, calculus: str, engine: str) -> RunResult:
+    """Map a :class:`~repro.machine.cek.MachineOutcome` (machine or VM) to a
+    :class:`RunResult` — one code path so the outcome shapes stay uniform."""
+    steps = (outcome.stats or {}).get("steps", 0)
+    if outcome.is_value:
+        return RunResult("value", outcome.python_value(), type=ty, calculus=calculus,
+                         engine=engine, space_stats=outcome.stats, steps=steps)
+    if outcome.is_blame:
+        return RunResult("blame", blame_label=outcome.label, type=ty, calculus=calculus,
+                         engine=engine, space_stats=outcome.stats, steps=steps)
+    return RunResult("timeout", type=ty, calculus=calculus, engine=engine,
+                     space_stats=outcome.stats, steps=steps)

@@ -10,8 +10,10 @@ from repro.core.types import BOOL, DYN, INT, FunType
 from repro.gen.programs import (
     even_odd_boundary,
     fib_boundary,
+    let_chain_boundary,
     pair_boundary_swap,
     safe_boundary_program,
+    tail_countdown_boundary,
     twice_boundary,
     typed_loop_untyped_step,
     untyped_client_bad_argument,
@@ -21,6 +23,7 @@ from repro.properties.bisimulation import (
     check_lockstep_b_c,
     check_outcomes_b_c_s,
     check_outcomes_c_s,
+    check_vm_oracle,
 )
 from repro.translate.b_to_c import term_to_lambda_c
 
@@ -94,6 +97,26 @@ class TestOutcomeBisimulationCS:
         report = check_outcomes_c_s(term_to_lambda_c(term), fuel=30_000)
         assert report.ok, report.reason
 
+    def test_transient_chain_through_a_dissolving_let(self):
+        """Regression: a let that binds a coerced value and is used under a
+        coercion, itself sitting under a program coercion.  When the let
+        dissolves, three previously separated chains fuse into ``2·static + 1``
+        adjacent coercions for one step before the priority merges collapse
+        them — the space checker must tolerate exactly that transient."""
+        from repro.core.terms import Let
+
+        inner = Let(
+            "f",
+            Cast(Lam("x", BOOL, Var("x")), FunType(BOOL, BOOL), FunType(BOOL, BOOL), P),
+            Cast(Var("f"), FunType(BOOL, BOOL), DYN, Q),
+        )
+        program = App(
+            Cast(inner, DYN, FunType(INT, DYN), label("r")),
+            const_int(3),
+        )
+        report = check_outcomes_c_s(term_to_lambda_c(program), fuel=5_000)
+        assert report.ok, report.reason
+
     def test_outcomes_on_the_boundary_workloads(self):
         for program in (
             even_odd_boundary(8),
@@ -106,6 +129,42 @@ class TestOutcomeBisimulationCS:
         ):
             report = check_outcomes_c_s(term_to_lambda_c(program), fuel=60_000)
             assert report.ok, report.reason
+
+
+class TestVMOracle:
+    """The bytecode VM against its oracles: the CEK machine and the reducers."""
+
+    def test_vm_oracle_on_the_boundary_workloads(self):
+        for program in (
+            even_odd_boundary(8),
+            typed_loop_untyped_step(4),
+            fib_boundary(6),
+            twice_boundary(3),
+            untyped_library_bad_result(),
+            untyped_client_bad_argument(),
+            safe_boundary_program(),
+            pair_boundary_swap(),
+        ):
+            report = check_vm_oracle(program)
+            assert report.ok, report.reason
+
+    def test_vm_oracle_on_the_vm_stress_shapes(self):
+        # The let-heavy and deep tail-recursive generators added for the VM.
+        for program in (
+            tail_countdown_boundary(40),
+            tail_countdown_boundary(0),
+            let_chain_boundary(30),
+            let_chain_boundary(0),
+        ):
+            report = check_vm_oracle(program)
+            assert report.ok, report.reason
+
+    @given(lambda_b_programs())
+    @settings(max_examples=30)
+    def test_vm_oracle_on_generated_programs(self, program):
+        term, _ = program
+        report = check_vm_oracle(term)
+        assert report.ok, report.reason
 
 
 class TestThreeWayAgreement:

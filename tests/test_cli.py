@@ -47,6 +47,22 @@ class TestRunCommand:
         assert main(["run", square_program, "--small-step"]) == 0
         assert "36" in capsys.readouterr().out
 
+    def test_run_vm_engine(self, square_program, capsys):
+        assert main(["run", square_program, "--engine", "vm"]) == 0
+        assert "36" in capsys.readouterr().out
+
+    def test_run_vm_engine_show_space(self, square_program, capsys):
+        assert main(["run", square_program, "--engine", "vm", "--show-space"]) == 0
+        assert "pending-mediators" in capsys.readouterr().out
+
+    def test_run_vm_engine_reports_blame(self, blame_program, capsys):
+        assert main(["run", blame_program, "--engine", "vm"]) == 1
+        assert "blame" in capsys.readouterr().out
+
+    def test_run_vm_engine_rejects_non_s_calculus(self, square_program, capsys):
+        assert main(["run", square_program, "--engine", "vm", "--calculus", "B"]) == 2
+        assert "error" in capsys.readouterr().err
+
     def test_run_blaming_program_returns_nonzero(self, blame_program, capsys):
         assert main(["run", blame_program]) == 1
         assert "blame" in capsys.readouterr().out
@@ -81,6 +97,20 @@ class TestOtherCommands:
         assert "<" in capsys.readouterr().out
         assert main(["translate", square_program, "--to", "s"]) == 0
         assert "<" in capsys.readouterr().out
+
+    def test_compile_prints_disassembly(self, square_program, capsys):
+        assert main(["compile", square_program]) == 0
+        out = capsys.readouterr().out
+        assert "code 0 <main>" in out
+        assert "pool" in out
+        assert "TAILCALL" in out or "CALL" in out
+
+    def test_compile_disassembly_round_trips(self, square_program, capsys):
+        from repro.compiler.disasm import parse_disassembly
+
+        assert main(["compile", square_program]) == 0
+        streams = parse_disassembly(capsys.readouterr().out)
+        assert streams and all(streams)
 
     def test_space_experiment(self, capsys):
         assert main(["space", "30"]) == 0

@@ -21,7 +21,7 @@ def _load_example(name: str):
 
 
 @pytest.mark.parametrize(
-    "name", ["quickstart", "blame_tracking", "coercion_playground"]
+    "name", ["quickstart", "blame_tracking", "coercion_playground", "vm_pipeline"]
 )
 def test_example_scripts_run(name, capsys):
     module = _load_example(name)

@@ -14,7 +14,9 @@ from repro.gen.programs import (
     even_odd_expected,
     fib_boundary,
     fib_expected,
+    let_chain_boundary,
     pair_boundary_swap,
+    tail_countdown_boundary,
     safe_boundary_program,
     twice_boundary,
     typed_loop_untyped_step,
@@ -38,6 +40,8 @@ class TestStaticProperties:
             safe_boundary_program(),
             pair_boundary_swap(),
             deep_cast_chain(3),
+            tail_countdown_boundary(3),
+            let_chain_boundary(3),
         ]
         for program in programs:
             assert is_closed(program)
@@ -49,10 +53,14 @@ class TestStaticProperties:
         assert type_of(typed_loop_untyped_step(2)) == INT
         assert type_of(pair_boundary_swap()) == ProdType(INT, BOOL)
         assert type_of(deep_cast_chain(4)) == INT
+        assert type_of(tail_countdown_boundary(2)) == BOOL
+        assert type_of(let_chain_boundary(2)) == INT
 
     def test_workload_registry(self):
         assert "even_odd_boundary" in WORKLOADS
         assert WORKLOADS["even_odd_boundary"] is even_odd_boundary
+        assert WORKLOADS["tail_countdown_boundary"] is tail_countdown_boundary
+        assert WORKLOADS["let_chain_boundary"] is let_chain_boundary
 
 
 class TestRuntimeBehaviour:
@@ -73,6 +81,14 @@ class TestRuntimeBehaviour:
 
     def test_twice(self):
         assert run_on_machine(twice_boundary(0), "S").python_value() == 2
+
+    @pytest.mark.parametrize("n", [0, 1, 9, 40])
+    def test_tail_countdown_converges_to_true(self, n):
+        assert run_on_machine(tail_countdown_boundary(n), "S").python_value() is True
+
+    @pytest.mark.parametrize("depth", [0, 1, 5, 30])
+    def test_let_chain_counts_its_depth(self, depth):
+        assert run_on_machine(let_chain_boundary(depth), "S").python_value() == depth
 
     def test_deep_cast_chain_collapses_to_its_value(self):
         assert run_on_machine(deep_cast_chain(25), "S").python_value() == 42
