@@ -1,11 +1,23 @@
-"""Experiment: threesome composition (§6.1) versus λS composition ``#``.
+"""Experiment: threesomes versus λS coercions — composition *and* execution.
 
 Siek & Wadler (2010)'s threesomes are "easy to compute, but hard to
 understand"; λS's canonical coercions are both.  This benchmark compares the
-two composition algorithms on the same work — long chains of boundary
-crossings and random composable pairs — and asserts they produce the same
-result (through the representation map), reproducing the equivalence the
-paper argues in §6.1.
+two presentations at two levels:
+
+* **composition micro-benchmarks** (the original §6.1 experiment): folding
+  long boundary chains and random composable pairs with ``∘`` versus ``#``,
+  asserting identical results through the representation map;
+* **full engine comparison**: the λS CEK machine and the bytecode VM run the
+  boundary workloads under both mediator backends (``mediator="coercion"``
+  vs ``mediator="threesome"``).  Outcomes and space profiles must agree
+  (``check_mediator_oracle``); the JSON records per-workload speedups and the
+  ``max_pending_mediators`` footprint of every engine × backend cell.  The
+  λS space guarantee is *asserted*, not just recorded: on boundary-heavy
+  workloads the VM must report ``max_pending_mediators == 1`` under both
+  representations (one composed pending slot per frame), and the pure tail
+  loop must report 1 on the CEK machine too (the machine holds a short
+  transient second mediator on workloads that return through a non-tail
+  cast, so those assert a constant ≤ 2).
 """
 
 from __future__ import annotations
@@ -17,10 +29,19 @@ import pytest
 
 import harness
 
+from repro.compiler import compile_term, run_code
 from repro.core.labels import Label
 from repro.core.types import DYN, INT
 from repro.gen.coercions_gen import random_composable_space_pair
+from repro.gen.programs import (
+    even_odd_boundary,
+    fib_boundary,
+    tail_countdown_boundary,
+    typed_loop_untyped_step,
+)
 from repro.lambda_s.coercions import compose
+from repro.machine import run_on_machine
+from repro.properties.bisimulation import check_mediator_oracle
 from repro.threesomes import compose_labeled, labeled_of_coercion
 from repro.translate.b_to_s import cast_to_space
 
@@ -33,9 +54,20 @@ def _boundary_chain(length: int):
     return pieces
 
 
-def build_suite(repeat: int) -> harness.Suite:
-    suite = harness.Suite("threesomes", repeat)
+#: The engine-comparison workloads: (name, λB term, boundary_heavy?,
+#: pure_tail?).  The boundary-heavy ones are the λS space story — loops whose
+#: pending mediators must stay constant under both backends; the pure tail
+#: loop additionally keeps a *single* composed pending mediator on both
+#: engines (``max_pending_mediators == 1``).
+ENGINE_WORKLOADS = [
+    ("even_odd_boundary_400", even_odd_boundary(400), True, False),
+    ("tail_countdown_400", tail_countdown_boundary(400), True, True),
+    ("typed_loop_200", typed_loop_untyped_step(200), True, False),
+    ("fib_boundary_13", fib_boundary(13), False, False),
+]
 
+
+def _compose_microbenchmarks(suite: harness.Suite) -> None:
     pieces = _boundary_chain(200)
     labeled_pieces = [labeled_of_coercion(piece) for piece in pieces]
 
@@ -72,6 +104,75 @@ def build_suite(repeat: int) -> harness.Suite:
     suite.measure("threesomes/random_100", run_threesomes,
                   check=lambda r: r == reference_pairs,
                   algorithm="threesomes", pairs=len(pairs))
+
+
+def _engine_comparison(suite: harness.Suite) -> None:
+    for name, term, boundary_heavy, pure_tail in ENGINE_WORKLOADS:
+        report = check_mediator_oracle(term)
+        assert report.ok, f"{name}: {report.reason}"
+
+        cells: dict[tuple[str, str], harness.Measurement] = {}
+        pendings: dict[tuple[str, str], int] = {}
+
+        for backend in ("coercion", "threesome"):
+            outcome = run_on_machine(term, "S", mediator=backend)
+            pendings[("machine", backend)] = outcome.stats["max_pending_mediators"]
+            cells[("machine", backend)] = suite.measure(
+                f"machine/{backend}/{name}",
+                lambda backend=backend: run_on_machine(term, "S", mediator=backend),
+                check=lambda r, outcome=outcome: r.kind == outcome.kind,
+                engine="machine", mediator=backend, workload=name,
+                boundary_heavy=boundary_heavy,
+                max_pending_mediators=outcome.stats["max_pending_mediators"],
+            )
+
+        for backend in ("coercion", "threesome"):
+            code = compile_term(term, mediator=backend)
+            outcome = run_code(code)
+            pendings[("vm", backend)] = outcome.stats["max_pending_mediators"]
+            cells[("vm", backend)] = suite.measure(
+                f"vm/{backend}/{name}",
+                lambda code=code: run_code(code),
+                check=lambda r, outcome=outcome: r.kind == outcome.kind,
+                engine="vm", mediator=backend, workload=name,
+                boundary_heavy=boundary_heavy,
+                max_pending_mediators=outcome.stats["max_pending_mediators"],
+            )
+
+        for engine in ("machine", "vm"):
+            pending_coercion = pendings[(engine, "coercion")]
+            pending_threesome = pendings[(engine, "threesome")]
+            # The space guarantee itself, not just backend parity: boundary
+            # loops keep one pending slot per VM frame under either
+            # representation, and the pure tail loop keeps exactly one on
+            # the machine too (others hold a transient second — constant).
+            assert pending_coercion == pending_threesome, (
+                f"{engine}/{name}: pending footprints diverge across backends "
+                f"({pending_coercion} vs {pending_threesome})"
+            )
+            if boundary_heavy:
+                bound = 1 if (engine == "vm" or pure_tail) else 2
+                assert pending_coercion <= bound, (
+                    f"{engine}/{name}: max_pending_mediators "
+                    f"{pending_coercion} > {bound}"
+                )
+            coercion_best = cells[(engine, "coercion")].best_s
+            threesome_best = cells[(engine, "threesome")].best_s
+            suite.record(
+                f"{engine}/threesome_vs_coercion/{name}",
+                engine=engine, workload=name, boundary_heavy=boundary_heavy,
+                # > 1.0 means the threesome backend is faster.
+                speedup=round(coercion_best / threesome_best, 3),
+                pending_coercion=pending_coercion,
+                pending_threesome=pending_threesome,
+                pending_equal_backends=(pending_coercion == pending_threesome),
+            )
+
+
+def build_suite(repeat: int) -> harness.Suite:
+    suite = harness.Suite("threesomes", repeat)
+    _compose_microbenchmarks(suite)
+    _engine_comparison(suite)
     return suite
 
 

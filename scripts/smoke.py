@@ -48,3 +48,37 @@ from repro.compiler import run_on_vm
 print("vm:", run_on_vm(term))
 print("vm bad:", run_on_vm(bad))
 print("vm embed:", run_on_vm(emb))
+
+# The threesome mediator backend (machine and VM) agrees too.
+from repro.machine import run_on_machine
+
+print("machine threesome:", run_on_machine(term, "S", mediator="threesome"))
+print("vm threesome:", run_on_vm(term, mediator="threesome"))
+print("vm threesome bad:", run_on_vm(bad, mediator="threesome"))
+
+from repro.properties.bisimulation import check_mediator_oracle
+
+for probe in (term, bad, emb):
+    report = check_mediator_oracle(probe)
+    assert report.ok, report.reason
+print("mediator oracle: ok")
+
+# The CLI front end end-to-end, including the new flags and exit codes
+# (0 value, 1 blame, 2 static error, 3 timeout).
+import pathlib
+import tempfile
+
+from repro.cli import main as cli_main
+
+with tempfile.TemporaryDirectory() as tmp:
+    good = pathlib.Path(tmp) / "good.grad"
+    good.write_text("(define (square [x : int]) : int (* x x))\n(square (: 6 ?))\n")
+    spin = pathlib.Path(tmp) / "spin.grad"
+    spin.write_text("(define (spin [n : int]) : int (spin n))\n(spin 0)\n")
+    assert cli_main(["run", str(good)]) == 0
+    assert cli_main(["run", str(good), "--engine", "vm", "--mediator", "threesome"]) == 0
+    assert cli_main(["run", str(good), "--mediator", "threesome", "--show-space"]) == 0
+    assert cli_main(["compile", str(good), "--mediator", "threesome"]) == 0
+    assert cli_main(["run", str(spin), "--fuel", "5000"]) == 3
+    assert cli_main(["run", str(good), "--mediator", "threesome", "--calculus", "B"]) == 2
+print("cli flags + exit codes: ok")

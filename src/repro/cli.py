@@ -3,19 +3,29 @@
 Installed as ``repro-gradual``.  Subcommands:
 
 * ``run FILE``        — parse, type check, insert casts, evaluate (choose the
-  calculus with ``--calculus`` and the engine with ``--engine``: the CEK
+  calculus with ``--calculus``, the engine with ``--engine``: the CEK
   machine by default, the bytecode VM with ``--engine vm``, or the
-  substitution-based reference oracle).
+  substitution-based reference oracle; and the pending-mediator
+  representation with ``--mediator``: λS coercions composed with ``#`` by
+  default, or threesomes composed with labeled-type ``∘``).
 * ``compile FILE``    — lower to λS bytecode and print the disassembly and
-  constant pool.
+  constant pool (``--mediator threesome`` pre-interns labeled types).
 * ``check FILE``      — static gradual type checking only.
 * ``translate FILE``  — print the elaborated λB term, or its λC / λS translation.
 * ``space N``         — reproduce the space-efficiency experiment for the
   even/odd boundary workload at size ``N`` on all three machines.
 
+Exit codes (uniform across subcommands): **0** — the program ran to a value
+(or the subcommand succeeded); **1** — evaluation allocated blame; **2** — a
+static error (file not found, parse error, ill-typed program, bad
+engine/calculus/mediator combination); **3** — evaluation timed out (fuel
+exhausted).  Errors are single-line diagnostics on stderr carrying source
+locations when the front end provides them.
+
 Example::
 
     repro-gradual run examples/programs/square.grad --calculus S --show-space
+    repro-gradual run examples/programs/tail_loop.grad --engine vm --mediator threesome
 """
 
 from __future__ import annotations
@@ -33,6 +43,14 @@ from .surface.interp import run_term
 from .surface.parser import parse_program
 from .translate import b_to_c, b_to_s
 
+#: The uniform exit-code scheme (documented in ``--help`` and the README).
+EXIT_VALUE = 0
+EXIT_BLAME = 1
+EXIT_STATIC_ERROR = 2
+EXIT_TIMEOUT = 3
+
+_OUTCOME_EXIT_CODES = {"value": EXIT_VALUE, "blame": EXIT_BLAME, "timeout": EXIT_TIMEOUT}
+
 
 def _load_program(path: str):
     source = Path(path).read_text()
@@ -48,6 +66,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ty,
         calculus=args.calculus,
         engine=engine,
+        mediator=args.mediator,
         fuel=args.fuel,
     )
     print(result)
@@ -58,7 +77,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "pending-size max={max_pending_size} kont-depth max={max_kont_depth} "
             "steps={steps}".format(**stats)
         )
-    return 0 if result.kind == "value" else 1
+    return _OUTCOME_EXIT_CODES[result.kind]
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
@@ -66,19 +85,15 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
     program = _load_program(args.file)
     term, _ = elaborate_program(program)
-    print(disassemble(compile_term(term)))
-    return 0
+    print(disassemble(compile_term(term, mediator=args.mediator)))
+    return EXIT_VALUE
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
     program = _load_program(args.file)
-    try:
-        _, ty = elaborate_program(program)
-    except TypeCheckError as exc:
-        print(f"static type error: {exc}")
-        return 1
+    _, ty = elaborate_program(program)  # TypeCheckError propagates to main()
     print(f"well typed : {ty}")
-    return 0
+    return EXIT_VALUE
 
 
 def _cmd_translate(args: argparse.Namespace) -> int:
@@ -90,7 +105,7 @@ def _cmd_translate(args: argparse.Namespace) -> int:
         print(term_to_str(b_to_c(term)))
     else:
         print(term_to_str(b_to_s(term)))
-    return 0
+    return EXIT_VALUE
 
 
 def _cmd_space(args: argparse.Namespace) -> int:
@@ -104,22 +119,30 @@ def _cmd_space(args: argparse.Namespace) -> int:
             f"{calculus:>8} {stats['max_pending_mediators']:>16} "
             f"{stats['max_pending_size']:>14} {stats['max_kont_depth']:>12} {stats['steps']:>10}"
         )
-    return 0
+    return EXIT_VALUE
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-gradual",
         description="Gradually typed language toolchain from 'Blame and Coercion' (PLDI 2015).",
+        epilog="exit codes: 0 value, 1 blame, 2 static/parse error, 3 timeout",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_parser = sub.add_parser("run", help="run a gradual program")
+    run_parser = sub.add_parser(
+        "run", help="run a gradual program",
+        epilog="exit codes: 0 value, 1 blame, 2 static/parse error, 3 timeout",
+    )
     run_parser.add_argument("file")
     run_parser.add_argument("--calculus", choices=["B", "C", "S", "b", "c", "s"], default="S")
     run_parser.add_argument("--engine", choices=["vm", "machine", "subst"], default="machine",
                             help="execution engine: the CEK machine (default), the λS "
                                  "bytecode VM, or the substitution-based reference oracle")
+    run_parser.add_argument("--mediator", choices=["coercion", "threesome"], default="coercion",
+                            help="pending-mediator representation of the λS machine/VM: "
+                                 "canonical coercions merged with # (default) or threesomes "
+                                 "(labeled types) merged with labeled-type composition")
     run_parser.add_argument("--small-step", action="store_true",
                             help="alias for --engine subst (the paper-faithful small-step reducer)")
     run_parser.add_argument("--show-space", action="store_true", help="print space statistics")
@@ -130,6 +153,9 @@ def build_parser() -> argparse.ArgumentParser:
         "compile", help="lower a program to λS bytecode and print the disassembly"
     )
     compile_parser.add_argument("file")
+    compile_parser.add_argument("--mediator", choices=["coercion", "threesome"], default="coercion",
+                                help="mediator-pool representation: interned canonical "
+                                     "coercions (default) or pre-translated threesomes")
     compile_parser.set_defaults(handler=_cmd_compile)
 
     check_parser = sub.add_parser("check", help="gradually type check a program")
@@ -149,13 +175,30 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, dispatch, and map every failure to the exit-code scheme.
+
+    All static failures — unreadable files, parse errors (which carry
+    line/column), type errors (which carry source locations), and invalid
+    engine/calculus/mediator combinations — are caught uniformly here and
+    reported as one-line diagnostics on stderr with exit code 2.  Dynamic
+    outcomes (blame = 1, timeout = 3) are exit codes, not exceptions.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (ParseError, ReproError, OSError) as exc:
+    except ParseError as exc:
+        print(f"parse error: {exc}", file=sys.stderr)
+        return EXIT_STATIC_ERROR
+    except TypeCheckError as exc:
+        print(f"static type error: {exc}", file=sys.stderr)
+        return EXIT_STATIC_ERROR
+    except FileNotFoundError as exc:
+        print(f"error: no such file: {exc.filename}", file=sys.stderr)
+        return EXIT_STATIC_ERROR
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_STATIC_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -52,6 +52,7 @@ from ..core.ops import OpSpec, op_spec
 from ..core.types import Type
 from ..lambda_s.coercions import SpaceCoercion, intern_space
 from ..machine.values import MConst
+from ..threesomes.runtime import threesome_of_coercion
 
 # Opcodes are plain module-level ints: the VM loads them into loop locals and
 # dispatches with integer comparisons ordered by dynamic frequency.
@@ -108,13 +109,23 @@ class ConstantPool:
     instructions refer to them by index.  Coercions are interned on entry;
     identity of pool entries is therefore stable across compilations of the
     same program (tested by ``tests/test_compiler.py``).
+
+    ``mediator`` selects the representation of the pool's mediator entries —
+    and therefore of every ``COERCE``/``COMPOSE`` operand the VM touches:
+    ``"coercion"`` stores interned canonical coercions (merged at run time
+    with the memoised ``#``), ``"threesome"`` pre-translates each coercion to
+    an interned runtime :class:`~repro.threesomes.runtime.Threesome` (merged
+    with memoised labeled-type composition ``∘``).  The conversion happens
+    once, at pool-construction time, so the VM's hot loop never sees the
+    other representation.
     """
 
     consts: list[object] = field(default_factory=list)
-    coercions: list[SpaceCoercion] = field(default_factory=list)
+    coercions: list[object] = field(default_factory=list)  # SpaceCoercion | Threesome
     labels: list[Label] = field(default_factory=list)
     prims: list[tuple] = field(default_factory=list)  # (meaning, arity, result_type, name)
     codes: list["CodeObject"] = field(default_factory=list)
+    mediator: str = "coercion"
 
     def __post_init__(self) -> None:
         self._const_index: dict[object, int] = {}
@@ -135,7 +146,9 @@ class ConstantPool:
         return self.add_const(MConst(value, ty))
 
     def add_coercion(self, coercion: SpaceCoercion) -> int:
-        canon = intern_space(coercion)
+        canon: object = intern_space(coercion)
+        if self.mediator == "threesome":
+            canon = threesome_of_coercion(canon)
         idx = self._coercion_index.get(id(canon))
         if idx is None:
             idx = len(self.coercions)

@@ -226,9 +226,20 @@ def _compile_closure(builder: _CodeBuilder, lam: Lam) -> None:
     builder.emit(MAKE_CLOSURE, index)
 
 
-def lower_program(term_s: Term, name: str = "<main>") -> CodeObject:
-    """Compile a closed λS term to the entry code object of a program."""
-    pool = ConstantPool()
+def lower_program(
+    term_s: Term, name: str = "<main>", mediator: str = "coercion"
+) -> CodeObject:
+    """Compile a closed λS term to the entry code object of a program.
+
+    ``mediator`` selects the representation of the program's mediator pool
+    (and hence of every ``COERCE``/``COMPOSE`` operand): interned canonical
+    coercions (``"coercion"``, the default) or pre-translated interned
+    threesomes (``"threesome"``).  Identity coercions are dropped either way
+    — they are identity threesomes too.
+    """
+    if mediator not in ("coercion", "threesome"):
+        raise CompileError(f"unknown mediator backend {mediator!r}")
+    pool = ConstantPool(mediator=mediator)
     builder = _CodeBuilder(name, pool, free=(), param=None)
     _compile(builder, term_s, tail=True)
     return builder.finish()

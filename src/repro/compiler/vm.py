@@ -27,15 +27,23 @@ directly comparable with the CEK machine's numbers (and is asserted by
 
 The VM executes λS only; ``run_on_vm`` translates a λB program first,
 mirroring ``run_on_machine``.
+
+The pending-mediator *representation* is pluggable (:data:`VM_BACKENDS`,
+selected by the constant pool's ``mediator`` field): canonical coercions
+merged with the memoised ``#`` (the default), or threesomes — interned
+labeled types merged with memoised labeled-type composition ``∘``
+(``compile_term(term, mediator="threesome")``).  Both backends share the
+machine's :class:`~repro.machine.policy.MediationPolicy` semantics, so the
+space discipline above is representation-independent — asserted end to end
+by ``check_mediator_oracle``.
 """
 
 from __future__ import annotations
 
 from ..core.errors import EvaluationError
 from ..core.terms import Term
-from ..lambda_s.coercions import FunCo, ProdCo, compose_memo
 from ..machine.cek import MachineOutcome
-from ..machine.policy import SPACE_POLICY, MachineBlame
+from ..machine.policy import SPACE_POLICY, THREESOME_POLICY, MachineBlame, MediationPolicy
 from ..machine.profiler import MachineStats
 from ..machine.values import MConst, MFixWrap, MFunctionValue, MPair, MProxy
 from .bytecode import (
@@ -89,13 +97,25 @@ def _make_fix_apply_code() -> CodeObject:
 _FIX_APPLY = _make_fix_apply_code()
 
 
-def _project(value, first: bool):
+#: Mediator backends the VM can execute, keyed by each policy's declared
+#: representation (matching the pool's ``mediator`` field): λS canonical
+#: coercions merged with the memoised ``#``, or threesomes merged with
+#: memoised labeled-type composition ``∘``.  Both are
+#: :class:`~repro.machine.policy.MediationPolicy` instances, so the VM and
+#: the CEK machine share one mediation semantics per backend.
+VM_BACKENDS: dict[str, MediationPolicy] = {
+    policy.mediator: policy for policy in (SPACE_POLICY, THREESOME_POLICY)
+}
+
+
+def _project(value, first: bool, policy: MediationPolicy):
     """Project a pair (or pair proxy) — mirrors the CEK machine's ``_project``."""
     if isinstance(value, MPair):
         return value.left if first else value.right
-    if isinstance(value, MProxy) and isinstance(value.mediator, ProdCo):
-        part = value.mediator.left if first else value.mediator.right
-        return SPACE_POLICY.apply(_project(value.under, first), part)
+    if isinstance(value, MProxy) and policy.is_prod_proxy(value.mediator):
+        left, right = policy.prod_parts(value.mediator)
+        part = left if first else right
+        return policy.apply(_project(value.under, first, policy), part)
     raise EvaluationError(f"projection of a non-pair value: {value!r}")
 
 
@@ -111,8 +131,14 @@ class VM:
         prims = pool.prims
         codes = pool.codes
 
-        apply_co = SPACE_POLICY.apply
-        co_size = SPACE_POLICY.size
+        # The pool declares which mediator representation its entries use;
+        # hoist that backend's methods into loop locals.
+        policy = VM_BACKENDS[pool.mediator]
+        apply_co = policy.apply
+        co_size = policy.size
+        compose_pending = policy.compose
+        is_fun_proxy = policy.is_fun_proxy
+        fun_parts = policy.fun_parts
         applications = 0
 
         stack: list = []  # the operand stack, shared across frames
@@ -173,12 +199,12 @@ class VM:
                     # result coercion into a pending slot.
                     while fun.__class__ is MProxy:
                         mediator = fun.mediator
-                        if not isinstance(mediator, FunCo):
+                        if not is_fun_proxy(mediator):
                             break
                         applications += 1
-                        arg = apply_co(arg, mediator.dom)
-                        cod = mediator.cod
-                        result_co = cod if result_co is None else compose_memo(cod, result_co)
+                        dom, cod = fun_parts(mediator)
+                        arg = apply_co(arg, dom)
+                        result_co = cod if result_co is None else compose_pending(cod, result_co)
                         fun = fun.under
                     if fun.__class__ is VMClosure:
                         callee = fun.code
@@ -205,7 +231,7 @@ class VM:
                                 pending = result_co
                                 stats.push_mediator(co_size(result_co))
                             else:
-                                merged = compose_memo(result_co, pending)
+                                merged = compose_pending(result_co, pending)
                                 stats.replace_mediator(co_size(pending), co_size(merged))
                                 pending = merged
                     insns = callee.instructions
@@ -217,7 +243,7 @@ class VM:
                         pending = coercion
                         stats.push_mediator(co_size(coercion))
                     else:
-                        merged = compose_memo(coercion, pending)
+                        merged = compose_pending(coercion, pending)
                         stats.replace_mediator(co_size(pending), co_size(merged))
                         pending = merged
                 elif op == COERCE:
@@ -252,9 +278,9 @@ class VM:
                     right = stack.pop()
                     stack[-1] = MPair(stack[-1], right)
                 elif op == FST:
-                    stack[-1] = _project(stack[-1], first=True)
+                    stack[-1] = _project(stack[-1], True, policy)
                 elif op == SND:
-                    stack[-1] = _project(stack[-1], first=False)
+                    stack[-1] = _project(stack[-1], False, policy)
                 elif op == BLAME:
                     raise MachineBlame(labels[operand])
                 else:  # pragma: no cover - defensive
@@ -273,17 +299,24 @@ class VM:
 THE_VM = VM()
 
 
-def compile_term(term_b: Term) -> CodeObject:
-    """Compile an elaborated λB term: translate ``|·|BC`` then ``|·|CS``, lower."""
+def compile_term(term_b: Term, mediator: str = "coercion") -> CodeObject:
+    """Compile an elaborated λB term: translate ``|·|BC`` then ``|·|CS``, lower.
+
+    ``mediator`` picks the pool representation the VM will execute —
+    ``"coercion"`` (canonical coercions, ``#``) or ``"threesome"`` (labeled
+    types, ``∘``).
+    """
     from ..translate import b_to_c, c_to_s
     from .lower import lower_program
 
-    return lower_program(c_to_s(b_to_c(term_b)))
+    return lower_program(c_to_s(b_to_c(term_b)), mediator=mediator)
 
 
-def run_on_vm(term_b: Term, fuel: int = DEFAULT_VM_FUEL) -> MachineOutcome:
+def run_on_vm(
+    term_b: Term, fuel: int = DEFAULT_VM_FUEL, mediator: str = "coercion"
+) -> MachineOutcome:
     """Compile a λB term to bytecode and run it on the VM (λS semantics)."""
-    return THE_VM.run(compile_term(term_b), fuel)
+    return THE_VM.run(compile_term(term_b, mediator=mediator), fuel)
 
 
 def run_code(code: CodeObject, fuel: int = DEFAULT_VM_FUEL) -> MachineOutcome:

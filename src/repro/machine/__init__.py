@@ -12,6 +12,7 @@ statistics of the run.
 
 from __future__ import annotations
 
+from ..core.errors import UsageError
 from ..core.terms import Term
 from ..translate import b_to_c, c_to_s
 from .cek import DEFAULT_MACHINE_FUEL, CEKMachine, MachineOutcome
@@ -19,11 +20,13 @@ from .policy import (
     BLAME_POLICY,
     COERCION_POLICY,
     SPACE_POLICY,
+    THREESOME_POLICY,
     BlamePolicy,
     CastMediator,
     CoercionPolicy,
     MediationPolicy,
     SpacePolicy,
+    ThreesomePolicy,
 )
 from .profiler import MachineStats
 from .values import (
@@ -40,26 +43,45 @@ from .values import (
 MACHINE_B = CEKMachine(BLAME_POLICY)
 MACHINE_C = CEKMachine(COERCION_POLICY)
 MACHINE_S = CEKMachine(SPACE_POLICY)
+#: The λS machine with the threesome (labeled-type) mediator backend.
+MACHINE_S_THREESOME = CEKMachine(THREESOME_POLICY)
 
 MACHINES = {"B": MACHINE_B, "C": MACHINE_C, "S": MACHINE_S}
 
+#: The available pending-mediator representations of the λS machine/VM.
+MEDIATORS = ("coercion", "threesome")
+
 
 def run_on_machine(
-    term_b: Term, calculus: str = "S", fuel: int = DEFAULT_MACHINE_FUEL
+    term_b: Term,
+    calculus: str = "S",
+    fuel: int = DEFAULT_MACHINE_FUEL,
+    mediator: str = "coercion",
 ) -> MachineOutcome:
     """Run a λB term on the machine of the chosen calculus.
 
     The term is translated with ``|·|BC`` (and ``|·|CS``) as required; pass
-    ``"B"`` to run the casts directly.
+    ``"B"`` to run the casts directly.  ``mediator`` selects the pending-cast
+    representation of the λS machine: canonical coercions merged with ``#``
+    (``"coercion"``, the default) or threesomes merged with labeled-type
+    composition ``∘`` (``"threesome"``); λB and λC have no threesome form.
     """
     calculus = calculus.upper()
+    if mediator not in MEDIATORS:
+        raise UsageError(f"unknown mediator {mediator!r}; expected one of {MEDIATORS}")
+    if mediator == "threesome" and calculus != "S":
+        raise UsageError(
+            f"the threesome mediator backend implements λS only "
+            f"(requested calculus {calculus!r})"
+        )
     if calculus == "B":
         return MACHINE_B.run(term_b, fuel)
     term_c = b_to_c(term_b)
     if calculus == "C":
         return MACHINE_C.run(term_c, fuel)
     if calculus == "S":
-        return MACHINE_S.run(c_to_s(term_c), fuel)
+        machine = MACHINE_S_THREESOME if mediator == "threesome" else MACHINE_S
+        return machine.run(c_to_s(term_c), fuel)
     raise ValueError(f"unknown calculus {calculus!r}; expected 'B', 'C', or 'S'")
 
 
@@ -71,15 +93,19 @@ __all__ = [
     "BlamePolicy",
     "CoercionPolicy",
     "SpacePolicy",
+    "ThreesomePolicy",
     "MediationPolicy",
     "CastMediator",
     "BLAME_POLICY",
     "COERCION_POLICY",
     "SPACE_POLICY",
+    "THREESOME_POLICY",
     "MACHINE_B",
     "MACHINE_C",
     "MACHINE_S",
+    "MACHINE_S_THREESOME",
     "MACHINES",
+    "MEDIATORS",
     "run_on_machine",
     "Environment",
     "MachineValue",

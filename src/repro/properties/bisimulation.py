@@ -330,6 +330,84 @@ def check_vm_oracle(
     )
 
 
+# ---------------------------------------------------------------------------
+# Mediator backends: coercions (#) against threesomes (∘) on machine and VM
+# ---------------------------------------------------------------------------
+
+
+def check_mediator_oracle(
+    term_b: Term,
+    machine_fuel: int = 2_000_000,
+    vm_fuel: int = 10_000_000,
+    check_vm: bool = True,
+) -> BisimulationReport:
+    """Check the threesome mediator backend against the coercion backend.
+
+    The paper's §6.1 claims threesomes and space-efficient coercions are two
+    presentations of the same thing; this check makes the claim executable on
+    one λB program.  It runs the λS CEK machine and (unless
+    ``check_vm=False``) the bytecode VM under **both** pending-mediator
+    representations and requires agreement of every observable:
+
+    * the outcome — projected value, blame *label*, or timeout.  Within one
+      engine the two backends take identical step counts (the representation
+      changes only what a pending mediator *is*, not when one is pushed or
+      merged), so timeouts are compared strictly;
+    * the space profile — ``max_pending_mediators`` must be equal backend to
+      backend: composing with ``∘`` must collapse pending mediators exactly
+      where ``#`` does (on boundary tail loops both stay at 1, the λS space
+      guarantee).
+    """
+    from ..compiler import run_on_vm
+    from ..machine import run_on_machine
+
+    def pending(outcome) -> int:
+        return (outcome.stats or {}).get("max_pending_mediators", 0)
+
+    def steps(outcome) -> int:
+        return (outcome.stats or {}).get("steps", 0)
+
+    coercion_m = run_on_machine(term_b, "S", machine_fuel, mediator="coercion")
+    threesome_m = run_on_machine(term_b, "S", machine_fuel, mediator="threesome")
+    report = _compare_outcomes(
+        coercion_m, threesome_m, steps(coercion_m), steps(threesome_m),
+        "machine/coercion", "machine/threesome", term_b, strict_timeouts=True,
+    )
+    if not report.ok:
+        return report
+    if pending(coercion_m) != pending(threesome_m):
+        return BisimulationReport(
+            False, steps(coercion_m), steps(threesome_m),
+            f"machine pending-mediator footprints differ: "
+            f"coercion {pending(coercion_m)} vs threesome {pending(threesome_m)}",
+            term_b, None,
+        )
+    if not check_vm:
+        return report
+
+    coercion_v = run_on_vm(term_b, vm_fuel, mediator="coercion")
+    threesome_v = run_on_vm(term_b, vm_fuel, mediator="threesome")
+    report = _compare_outcomes(
+        coercion_v, threesome_v, steps(coercion_v), steps(threesome_v),
+        "VM/coercion", "VM/threesome", term_b, strict_timeouts=True,
+    )
+    if not report.ok:
+        return report
+    if pending(coercion_v) != pending(threesome_v):
+        return BisimulationReport(
+            False, steps(coercion_v), steps(threesome_v),
+            f"VM pending-mediator footprints differ: "
+            f"coercion {pending(coercion_v)} vs threesome {pending(threesome_v)}",
+            term_b, None,
+        )
+    # Cross-engine: the threesome VM against the coercion machine (different
+    # step units, so a one-sided timeout is inconclusive as usual).
+    return _compare_outcomes(
+        threesome_v, coercion_m, steps(threesome_v), steps(coercion_m),
+        "VM/threesome", "machine/coercion", term_b, strict_timeouts=False,
+    )
+
+
 def _compare_outcomes(left, right, steps_l, steps_r, name_l, name_r, term_b,
                       strict_timeouts, project_right=None,
                       right_term: Term | None = None) -> BisimulationReport:

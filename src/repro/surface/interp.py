@@ -19,11 +19,17 @@ with the engine's step count, never an engine-specific exception or value.
 (The step *units* differ by engine: machine transitions, VM instructions,
 reduction steps.)
 
-Backends are therefore a pair of knobs:
+Backends are therefore a triple of knobs:
 
 * ``calculus`` — ``"B"``, ``"C"``, or ``"S"``: which calculus the elaborated
   program is translated into (the VM supports ``"S"`` only);
-* ``engine`` — ``"vm"``, ``"machine"`` (default), or ``"subst"``.
+* ``engine`` — ``"vm"``, ``"machine"`` (default), or ``"subst"``;
+* ``mediator`` — ``"coercion"`` (default) or ``"threesome"``: how the λS
+  machine and the VM represent pending casts at run time — canonical
+  coercions merged with ``#``, or threesomes (labeled types, §6.1) merged
+  with labeled-type composition ``∘``.  The two representations are
+  observationally equivalent (``check_mediator_oracle``); the substitution
+  oracle reduces coercion terms literally and has no threesome form.
 """
 
 from __future__ import annotations
@@ -38,13 +44,15 @@ from ..core.types import Type
 from ..lambda_b import reduction as reduction_b
 from ..lambda_c import reduction as reduction_c
 from ..lambda_s import reduction as reduction_s
-from ..machine import DEFAULT_MACHINE_FUEL, run_on_machine
+from ..machine import DEFAULT_MACHINE_FUEL, MEDIATORS, run_on_machine
 from ..translate import b_to_c, c_to_s
 from .cast_insertion import elaborate_program
 from .parser import parse_program
 
 #: The three execution engines: the bytecode VM, the CEK machine, and the
-#: substitution-based reference oracle.
+#: substitution-based reference oracle.  MEDIATORS (re-exported from
+#: :mod:`repro.machine`) is the second axis: the pending-mediator
+#: representations of the λS machine and the VM.
 ENGINES = ("vm", "machine", "subst")
 
 #: Default fuel per engine, in that engine's own step unit.
@@ -65,6 +73,7 @@ class RunResult:
     type: Type | None = None
     calculus: str = "S"
     engine: str = "machine"
+    mediator: str = "coercion"
     space_stats: dict | None = None
     steps: int = 0
 
@@ -109,11 +118,12 @@ def run_source(
     use_machine: bool | None = None,
     fuel: int | None = None,
     engine: str = "machine",
+    mediator: str = "coercion",
 ) -> RunResult:
     """Run a surface program and report its outcome."""
     term, ty = compile_source(source)
     return run_term(term, ty, calculus=calculus, use_machine=use_machine,
-                    fuel=fuel, engine=engine)
+                    fuel=fuel, engine=engine, mediator=mediator)
 
 
 def run_term(
@@ -123,10 +133,13 @@ def run_term(
     use_machine: bool | None = None,
     fuel: int | None = None,
     engine: str = "machine",
+    mediator: str = "coercion",
 ) -> RunResult:
-    """Run an elaborated λB term on the chosen calculus and engine."""
+    """Run an elaborated λB term on the chosen calculus, engine, and mediator."""
     calculus = calculus.upper()
     engine = _resolve_engine(engine, use_machine)
+    if mediator not in MEDIATORS:
+        raise UsageError(f"unknown mediator {mediator!r}; expected one of {MEDIATORS}")
     if fuel is None:
         fuel = DEFAULT_FUEL[engine]
 
@@ -136,13 +149,19 @@ def run_term(
                 f"engine 'vm' implements λS only (requested calculus {calculus!r}); "
                 "use engine='machine' for λB or λC"
             )
-        outcome = run_on_vm(term, fuel)
-        return _from_machine_outcome(outcome, ty, calculus, engine)
+        outcome = run_on_vm(term, fuel, mediator=mediator)
+        return _from_machine_outcome(outcome, ty, calculus, engine, mediator)
 
     if engine == "machine":
-        outcome = run_on_machine(term, calculus, fuel)
-        return _from_machine_outcome(outcome, ty, calculus, engine)
+        # run_on_machine validates the calculus × mediator combination.
+        outcome = run_on_machine(term, calculus, fuel, mediator=mediator)
+        return _from_machine_outcome(outcome, ty, calculus, engine, mediator)
 
+    if mediator != "coercion":
+        raise UsageError(
+            "engine 'subst' reduces coercion terms literally and has no "
+            "threesome backend; use engine='machine' or engine='vm'"
+        )
     if calculus == "B":
         outcome = reduction_b.run(term, fuel)
     elif calculus == "C":
@@ -166,15 +185,18 @@ def run_term(
                      steps=outcome.steps)
 
 
-def _from_machine_outcome(outcome, ty, calculus: str, engine: str) -> RunResult:
+def _from_machine_outcome(outcome, ty, calculus: str, engine: str,
+                          mediator: str = "coercion") -> RunResult:
     """Map a :class:`~repro.machine.cek.MachineOutcome` (machine or VM) to a
     :class:`RunResult` — one code path so the outcome shapes stay uniform."""
     steps = (outcome.stats or {}).get("steps", 0)
     if outcome.is_value:
         return RunResult("value", outcome.python_value(), type=ty, calculus=calculus,
-                         engine=engine, space_stats=outcome.stats, steps=steps)
+                         engine=engine, mediator=mediator, space_stats=outcome.stats,
+                         steps=steps)
     if outcome.is_blame:
         return RunResult("blame", blame_label=outcome.label, type=ty, calculus=calculus,
-                         engine=engine, space_stats=outcome.stats, steps=steps)
+                         engine=engine, mediator=mediator, space_stats=outcome.stats,
+                         steps=steps)
     return RunResult("timeout", type=ty, calculus=calculus, engine=engine,
-                     space_stats=outcome.stats, steps=steps)
+                     mediator=mediator, space_stats=outcome.stats, steps=steps)

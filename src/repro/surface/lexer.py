@@ -64,7 +64,15 @@ def tokenize(source: str) -> list[Token]:
                     escape = source[index + 1]
                     chars.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(escape, escape))
                     index += 2
-                    column += 2
+                    if escape == "\n":
+                        # A backslash-continued physical newline: the next
+                        # character is on a new source line, so the location
+                        # must advance with it or every later token (and
+                        # blame label) would point at the wrong line.
+                        line += 1
+                        column = 1
+                    else:
+                        column += 2
                     continue
                 chars.append(source[index])
                 index += 1

@@ -1,4 +1,11 @@
-"""Threesomes (labeled types) of Siek & Wadler (2010) — the §6.1 baseline."""
+"""Threesomes (labeled types) of Siek & Wadler (2010).
+
+Originally the §6.1 baseline (representation + composition, validated against
+λS's ``#``); :mod:`repro.threesomes.runtime` additionally makes threesomes a
+first-class *runtime* mediator backend for the CEK machine and the bytecode
+VM (``mediator="threesome"``), interned and memoised exactly like canonical
+coercions.
+"""
 
 from .compose import compose_labeled
 from .labeled_types import (
@@ -12,6 +19,23 @@ from .labeled_types import (
     ground_of_labeled,
     top_label,
     with_top_label,
+)
+from .runtime import (
+    Threesome,
+    coercion_of_threesome,
+    compose_labeled_memo,
+    compose_labeled_memo_stats,
+    compose_threesome,
+    intern_labeled,
+    intern_threesome,
+    is_identity_threesome,
+    is_interned_labeled,
+    is_interned_threesome,
+    labeled_size,
+    source_type_of,
+    target_type_of,
+    threesome_of_coercion,
+    threesome_size,
 )
 from .translate import coercion_of_labeled, labeled_of_cast, labeled_of_coercion
 
@@ -30,4 +54,19 @@ __all__ = [
     "coercion_of_labeled",
     "labeled_of_cast",
     "labeled_of_coercion",
+    "Threesome",
+    "coercion_of_threesome",
+    "compose_labeled_memo",
+    "compose_labeled_memo_stats",
+    "compose_threesome",
+    "intern_labeled",
+    "intern_threesome",
+    "is_identity_threesome",
+    "is_interned_labeled",
+    "is_interned_threesome",
+    "labeled_size",
+    "source_type_of",
+    "target_type_of",
+    "threesome_of_coercion",
+    "threesome_size",
 ]

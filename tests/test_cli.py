@@ -32,6 +32,20 @@ def ill_typed_program(tmp_path: Path) -> str:
     return str(path)
 
 
+@pytest.fixture
+def unparsable_program(tmp_path: Path) -> str:
+    path = tmp_path / "unparsable.grad"
+    path.write_text("(define (f\n")
+    return str(path)
+
+
+@pytest.fixture
+def diverging_program(tmp_path: Path) -> str:
+    path = tmp_path / "loop.grad"
+    path.write_text("(define (spin [n : int]) : int (spin n))\n(spin 0)\n")
+    return str(path)
+
+
 class TestRunCommand:
     def test_run_converging_program(self, square_program, capsys):
         assert main(["run", square_program]) == 0
@@ -74,11 +88,97 @@ class TestRunCommand:
 
     def test_missing_file_is_reported(self, capsys):
         assert main(["run", "no-such-file.grad"]) == 2
-        assert "error" in capsys.readouterr().err
+        assert "no such file" in capsys.readouterr().err
 
     def test_static_error_is_reported(self, ill_typed_program, capsys):
         assert main(["run", ill_typed_program]) == 2
+        err = capsys.readouterr().err
+        assert "static type error" in err
+        assert "1:1" in err  # the diagnostic carries the source location
+
+    def test_parse_error_is_reported_with_location(self, unparsable_program, capsys):
+        assert main(["run", unparsable_program]) == 2
+        err = capsys.readouterr().err
+        assert "parse error" in err
+        assert "line" in err
+
+
+class TestExitCodeScheme:
+    """0 value, 1 blame, 2 static/parse error, 3 timeout — on every engine."""
+
+    @pytest.mark.parametrize("engine", ["machine", "vm", "subst"])
+    def test_value_exits_zero(self, square_program, engine, capsys):
+        assert main(["run", square_program, "--engine", engine]) == 0
+        assert "36" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("engine", ["machine", "vm", "subst"])
+    def test_blame_exits_one(self, blame_program, engine, capsys):
+        assert main(["run", blame_program, "--engine", engine]) == 1
+        assert "blame" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("engine", ["machine", "vm", "subst"])
+    def test_timeout_exits_three(self, diverging_program, engine, capsys):
+        assert main(["run", diverging_program, "--engine", engine, "--fuel", "5000"]) == 3
+        assert "timeout" in capsys.readouterr().out
+
+    def test_blame_and_timeout_are_distinct(self, blame_program, diverging_program, capsys):
+        # Regression: both used to exit 1, so scripts could not tell a
+        # contract violation from fuel exhaustion.
+        blame_code = main(["run", blame_program])
+        timeout_code = main(["run", diverging_program, "--fuel", "5000"])
+        capsys.readouterr()
+        assert blame_code == 1
+        assert timeout_code == 3
+
+    def test_static_errors_exit_two(self, ill_typed_program, unparsable_program, capsys):
+        assert main(["run", ill_typed_program]) == 2
+        assert main(["run", unparsable_program]) == 2
+        assert main(["run", "missing.grad"]) == 2
+        capsys.readouterr()
+
+
+class TestMediatorFlag:
+    @pytest.mark.parametrize("engine", ["machine", "vm"])
+    def test_threesome_backend_runs_values(self, square_program, engine, capsys):
+        assert main(["run", square_program, "--engine", engine,
+                     "--mediator", "threesome"]) == 0
+        assert "36" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("engine", ["machine", "vm"])
+    def test_threesome_backend_reports_blame(self, blame_program, engine, capsys):
+        assert main(["run", blame_program, "--engine", engine,
+                     "--mediator", "threesome"]) == 1
+        assert "blame" in capsys.readouterr().out
+
+    def test_threesome_backend_preserves_the_space_story(self, capsys):
+        assert main(["run", str(EXAMPLES / "tail_loop.grad"),
+                     "--mediator", "threesome", "--show-space"]) == 0
+        out = capsys.readouterr().out
+        line = [l for l in out.splitlines() if "pending-mediators" in l][0]
+        assert "max=1" in line or "max=2" in line or "max=3" in line
+
+    def test_threesome_backend_rejects_non_s_calculus(self, square_program, capsys):
+        assert main(["run", square_program, "--mediator", "threesome",
+                     "--calculus", "B"]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_threesome_backend_rejects_subst_engine(self, square_program, capsys):
+        assert main(["run", square_program, "--mediator", "threesome",
+                     "--engine", "subst"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_compile_with_threesome_pool(self, square_program, capsys):
+        assert main(["compile", square_program, "--mediator", "threesome"]) == 0
+        out = capsys.readouterr().out
+        assert "pool coercions" in out
+        assert "<=" in out  # threesome entries print as <T <=P= S>
+
+    def test_compile_threesome_disassembly_round_trips(self, square_program, capsys):
+        from repro.compiler.disasm import parse_disassembly
+
+        assert main(["compile", square_program, "--mediator", "threesome"]) == 0
+        streams = parse_disassembly(capsys.readouterr().out)
+        assert streams and all(streams)
 
 
 class TestOtherCommands:
@@ -87,8 +187,9 @@ class TestOtherCommands:
         assert "well typed" in capsys.readouterr().out
 
     def test_check_ill_typed(self, ill_typed_program, capsys):
-        assert main(["check", ill_typed_program]) == 1
-        assert "static type error" in capsys.readouterr().out
+        # Static errors exit 2 under the uniform exit-code scheme.
+        assert main(["check", ill_typed_program]) == 2
+        assert "static type error" in capsys.readouterr().err
 
     def test_translate_to_each_calculus(self, square_program, capsys):
         assert main(["translate", square_program, "--to", "b"]) == 0

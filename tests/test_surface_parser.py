@@ -63,6 +63,24 @@ class TestLexer:
         kinds = [t.kind for t in tokenize("[x : int]")]
         assert kinds == ["lbracket", "symbol", "symbol", "symbol", "rbracket"]
 
+    def test_backslash_newline_in_string_still_bumps_the_line(self):
+        # Regression: the escape branch used to consume a backslash-newline
+        # pair without bumping `line`, so every later token — and therefore
+        # every blame label minted from its location — pointed one line high.
+        tokens = tokenize('"a\\\nb" later')
+        later = [t for t in tokens if t.text == "later"][0]
+        assert later.location.line == 2
+        assert later.location.column == 4
+
+    def test_multiple_backslash_newlines_accumulate_lines(self):
+        tokens = tokenize('"x\\\n\\\ny" tok')
+        tok = [t for t in tokens if t.text == "tok"][0]
+        assert tok.location.line == 3
+
+    def test_plain_newline_in_string_is_still_rejected(self):
+        with pytest.raises(ParseError):
+            tokenize('"a\nb"')
+
 
 class TestTypeParsing:
     def test_base_types(self):
