@@ -79,9 +79,11 @@ def _higher_order_type(depth: int):
     return ty
 
 
-def build_suite(repeat: int) -> harness.Suite:
+def build_suite(repeat: int, seed: int = harness.DEFAULT_SEED) -> harness.Suite:
     suite = harness.Suite("composition", repeat)
-    rng = random.Random(20150613)
+    # The generated pairs are part of the measurement: a fixed --seed keeps
+    # BENCH_composition.json comparable run to run.
+    rng = random.Random(seed)
 
     # (1) The machine's hot path: a tail loop's merge stream.
     for iterations in (1_000, 10_000):

@@ -1,18 +1,27 @@
-"""Experiment: the bytecode VM versus the CEK machine (and the oracle).
+"""Experiment: the bytecode VM versus the CEK machine — and the optimizer
+versus its own ``-O0`` baseline.
 
 The compiler PR's claim: lowering elaborated λS terms to a flat bytecode —
 coercions pre-interned, variables resolved to frame slots, dispatch on small
 ints — beats the tree-walking CEK machine while preserving the λS space
-guarantee.  This suite quantifies both halves:
+guarantee.  The optimizer PR's claim on top: moving mediator work to compile
+time (identity elision, static pre-composition with ``#``/``∘``) and
+shrinking the dispatch stream (peephole superinstructions, inline mediator
+caches) buys ≥ 1.5× again over the unoptimized VM on the boundary/tail
+workloads.  This suite quantifies all three axes:
 
-* **time** — for each workload it times the λS CEK machine and the VM on the
-  same program (compilation excluded; it is measured separately) and records
-  the speedup.  The acceptance bar is ≥ 1.5× on the tail-loop and boundary
-  workloads; at the time of writing the VM wins by 2–13×.
-* **space** — it records the VM's ``max_pending_mediators``: constant (one
-  composed pending coercion) on the boundary tail loops regardless of the
-  iteration count, because ``COMPOSE`` merges result coercions into the live
-  frame's single pending slot instead of stacking frames.
+* **time** — for each workload it times the λS CEK machine, the ``-O0`` VM,
+  and the ``-O2`` VM on the same program (compilation excluded; measured
+  separately) and records both speedups.  Acceptance bars: VM ≥ 1.5× over
+  the machine per boundary workload (the PR-2 bar, still enforced), and
+  ``-O2`` ≥ 1.5× **geomean** over ``-O0`` across the boundary/tail
+  workloads (the optimizer bar).
+* **ablation** — every workload × optimization level (O0/O1/O2) × mediator
+  backend (coercion/threesome), so the artifact shows where the win comes
+  from: O1 is the static mediator work, O2 adds fusion + inline caches.
+* **space** — ``max_pending_mediators`` stays constant (≤ 1, composed never
+  stacked) on the boundary tail loops at every level; the optimizer may
+  only *shrink* the footprint (an elided identity never runs).
 
 Standalone usage (writes the ``BENCH_vm.json`` artifact)::
 
@@ -21,6 +30,7 @@ Standalone usage (writes the ``BENCH_vm.json`` artifact)::
 
 from __future__ import annotations
 
+import math
 import sys
 
 import pytest
@@ -49,17 +59,27 @@ VM_WORKLOADS = {
 }
 
 SPEEDUP_TARGET = 1.5
+OPT_SPEEDUP_TARGET = 1.5  # -O2 vs -O0, geomean over boundary/tail workloads
+
+OPT_LEVELS = (0, 1, 2)
+MEDIATORS = ("coercion", "threesome")
+
+
+def geomean(values: list[float]) -> float:
+    return math.exp(sum(map(math.log, values)) / len(values))
 
 
 def build_suite(repeat: int) -> harness.Suite:
     suite = harness.Suite("vm", repeat)
+    opt_ratios_boundary: list[float] = []
     for name, (term_b, check, boundary) in VM_WORKLOADS.items():
         suite.measure(
             f"compile/{name}",
             lambda term_b=term_b: compile_term(term_b),
             workload=name, stage="compile",
         )
-        code = compile_term(term_b)
+        code_o0 = compile_term(term_b, opt_level=0)
+        code_o2 = compile_term(term_b, opt_level=2)
         machine = suite.measure(
             f"machine/S/{name}",
             lambda term_b=term_b: run_on_machine(term_b, "S"),
@@ -68,32 +88,72 @@ def build_suite(repeat: int) -> harness.Suite:
         )
         stats_box: dict = {}
 
-        def vm_check(outcome, check=check, stats_box=stats_box):
-            stats_box["stats"] = outcome.stats  # reuse the warmup run's stats
+        def vm_check(outcome, check=check, stats_box=stats_box, key="stats"):
+            stats_box[key] = outcome.stats  # reuse the warmup run's stats
             return outcome.is_value and check(outcome.python_value())
 
-        vm = suite.measure(
-            f"vm/S/{name}",
-            lambda code=code: run_code(code),
-            check=vm_check,
-            engine="vm", workload=name,
+        vm_o0 = suite.measure(
+            f"vm/S/O0/{name}",
+            lambda code=code_o0: run_code(code),
+            check=lambda outcome: vm_check(outcome, key="o0"),
+            engine="vm", opt_level=0, workload=name,
         )
-        stats = stats_box["stats"]
+        vm_o2 = suite.measure(
+            f"vm/S/O2/{name}",
+            lambda code=code_o2: run_code(code),
+            check=lambda outcome: vm_check(outcome, key="o2"),
+            engine="vm", opt_level=2, workload=name,
+        )
+        opt_ratio = vm_o0.best_s / vm_o2.best_s
+        if boundary:
+            opt_ratios_boundary.append(opt_ratio)
         suite.record(
             f"speedup/{name}",
-            vm_vs_machine=round(machine.best_s / vm.best_s, 2),
+            vm_vs_machine=round(machine.best_s / vm_o2.best_s, 2),
+            o2_vs_o0=round(opt_ratio, 2),
             tail_loop_or_boundary=boundary,
-            meets_target=machine.best_s / vm.best_s >= SPEEDUP_TARGET,
+            meets_target=machine.best_s / vm_o2.best_s >= SPEEDUP_TARGET,
             workload=name,
+        )
+        stats_o0, stats_o2 = stats_box["o0"], stats_box["o2"]
+        assert stats_o2["max_pending_mediators"] <= stats_o0["max_pending_mediators"], (
+            f"{name}: -O2 grew the pending-mediator footprint"
         )
         suite.record(
             f"space/{name}",
-            max_pending_mediators=stats["max_pending_mediators"],
-            max_pending_size=stats["max_pending_size"],
-            max_kont_depth=stats["max_kont_depth"],
-            vm_instructions=stats["steps"],
+            max_pending_mediators=stats_o2["max_pending_mediators"],
+            max_pending_size=stats_o2["max_pending_size"],
+            max_kont_depth=stats_o2["max_kont_depth"],
+            vm_instructions=stats_o2["steps"],
+            vm_instructions_o0=stats_o0["steps"],
+            max_pending_mediators_o0=stats_o0["max_pending_mediators"],
             workload=name,
         )
+
+    # The optimizer acceptance bar: -O2 over -O0, geomean on boundary/tail.
+    opt_geomean = geomean(opt_ratios_boundary)
+    suite.record(
+        "speedup/opt_geomean_boundary",
+        o2_vs_o0_geomean=round(opt_geomean, 3),
+        target=OPT_SPEEDUP_TARGET,
+        meets_target=opt_geomean >= OPT_SPEEDUP_TARGET,
+        workloads=[n for n, (_, _, b) in VM_WORKLOADS.items() if b],
+    )
+
+    # Ablation: every workload × opt level × mediator backend.
+    for name, (term_b, check, boundary) in VM_WORKLOADS.items():
+        for mediator in MEDIATORS:
+            for level in OPT_LEVELS:
+                code = compile_term(term_b, mediator=mediator, opt_level=level)
+                suite.measure(
+                    f"ablation/{name}/{mediator}/O{level}",
+                    lambda code=code: run_code(code),
+                    check=lambda outcome, check=check: (
+                        outcome.is_value and check(outcome.python_value())
+                    ),
+                    workload=name, mediator=mediator, opt_level=level,
+                    tail_loop_or_boundary=boundary,
+                )
     return suite
 
 
@@ -103,10 +163,11 @@ def build_suite(repeat: int) -> harness.Suite:
 
 
 @pytest.mark.benchmark(group="vm-throughput")
+@pytest.mark.parametrize("opt_level", [0, 2], ids=["O0", "O2"])
 @pytest.mark.parametrize("name", sorted(VM_WORKLOADS))
-def test_vm_throughput(benchmark, name):
+def test_vm_throughput(benchmark, name, opt_level):
     term_b, check, _ = VM_WORKLOADS[name]
-    code = compile_term(term_b)
+    code = compile_term(term_b, opt_level=opt_level)
 
     def run():
         return run_code(code)
@@ -114,6 +175,7 @@ def test_vm_throughput(benchmark, name):
     outcome = benchmark(run)
     assert outcome.is_value and check(outcome.python_value())
     benchmark.extra_info["workload"] = name
+    benchmark.extra_info["opt_level"] = opt_level
     benchmark.extra_info["vm_instructions"] = outcome.stats["steps"]
     benchmark.extra_info["max_pending_mediators"] = outcome.stats["max_pending_mediators"]
 

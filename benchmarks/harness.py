@@ -15,8 +15,10 @@ number by number.
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import platform
+import statistics
 import sys
 import time
 from dataclasses import dataclass, field
@@ -31,11 +33,17 @@ if str(_SRC) not in sys.path:
 
 @dataclass
 class Measurement:
-    """One timed (or derived) quantity."""
+    """One timed (or derived) quantity.
+
+    Timed measurements report the **min** (the least-noise estimate of the
+    true cost) and the **median** (robust against a single fast outlier);
+    the mean is kept for continuity with older ``BENCH_*.json`` artifacts.
+    """
 
     name: str
     best_s: float | None = None
     mean_s: float | None = None
+    median_s: float | None = None
     runs: int = 0
     meta: dict = field(default_factory=dict)
 
@@ -44,6 +52,7 @@ class Measurement:
         if self.best_s is not None:
             payload["best_s"] = self.best_s
             payload["mean_s"] = self.mean_s
+            payload["median_s"] = self.median_s
         payload.update(self.meta)
         return payload
 
@@ -78,6 +87,7 @@ class Suite:
             name,
             best_s=min(timings),
             mean_s=sum(timings) / len(timings),
+            median_s=statistics.median(timings),
             runs=repeat,
             meta=meta,
         )
@@ -105,9 +115,11 @@ class Suite:
         width = max((len(m.name) for m in self.measurements), default=10)
         for m in self.measurements:
             if m.best_s is not None:
-                timing = f"best {m.best_s * 1e3:9.3f} ms   mean {m.mean_s * 1e3:9.3f} ms"
+                timing = (
+                    f"min {m.best_s * 1e3:9.3f} ms   median {m.median_s * 1e3:9.3f} ms"
+                )
             else:
-                timing = " " * 42
+                timing = " " * 44
             extras = "  ".join(f"{k}={v}" for k, v in m.meta.items())
             print(f"  {m.name:<{width}}  {timing}  {extras}")
 
@@ -119,18 +131,34 @@ def artifact_path(suite_name: str, explicit: str | None = None) -> Path:
     return Path(__file__).resolve().parent.parent / f"BENCH_{suite_name}.json"
 
 
-def main(suite_name: str, build: Callable[[int], Suite], argv: list[str] | None = None) -> int:
+#: Default seed for suites with generated workloads: fixed, so successive
+#: ``BENCH_*.json`` artifacts measure the *same* programs run to run (the
+#: date the paper was presented at PLDI 2015).
+DEFAULT_SEED = 20150613
+
+
+def main(suite_name: str, build: Callable[..., Suite], argv: list[str] | None = None) -> int:
     """CLI entry point shared by every ``bench_*.py``.
 
-    ``build(repeat)`` runs the experiment and returns the populated suite.
+    ``build(repeat)`` runs the experiment and returns the populated suite;
+    a suite whose workloads are randomly generated declares a second
+    ``seed`` parameter and receives ``--seed`` (default
+    :data:`DEFAULT_SEED`, so artifacts are reproducible run to run).
     """
     parser = argparse.ArgumentParser(description=f"benchmark suite {suite_name!r}")
     parser.add_argument("--json", nargs="?", const="", default=None, metavar="PATH",
                         help=f"write BENCH_{suite_name}.json (optionally to PATH)")
-    parser.add_argument("--repeat", type=int, default=5, help="timed runs per measurement")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="timed runs per measurement (min + median reported)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="RNG seed for generated workloads (fixed by default "
+                             "so BENCH artifacts are reproducible)")
     args = parser.parse_args(argv)
 
-    suite = build(args.repeat)
+    if "seed" in inspect.signature(build).parameters:
+        suite = build(args.repeat, seed=args.seed)
+    else:
+        suite = build(args.repeat)
     suite.print_table()
     if args.json is not None:
         path = artifact_path(suite_name, args.json or None)

@@ -1,0 +1,90 @@
+"""Perf-regression smoke: the optimizer's win must not quietly erode.
+
+Re-measures the **two fastest** ``bench_vm`` workloads (fastest by the
+committed artifact's ``-O2`` times, so the smoke costs seconds) and
+compares the geomean of their ``-O2``-over-``-O0`` speedups against the
+geomean recorded in the committed ``BENCH_vm.json``.  The comparison is on
+*speedup ratios*, not wall-clock seconds: CI machines are arbitrarily
+slower or faster than the machine that recorded the baseline, but the ratio
+between two runs of the same VM on the same box is stable.  If the current
+ratio slips more than ``SLIP_TOLERANCE`` (25%) below the committed one —
+someone pessimised the optimizer or the VM's fast paths — exit non-zero and
+fail the build.
+
+Usage::
+
+    python scripts/perf_smoke.py            # exit 0 ok, 1 regression
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from bench_vm import VM_WORKLOADS, geomean  # noqa: E402
+
+from repro.compiler import compile_term, run_code  # noqa: E402
+
+SLIP_TOLERANCE = 0.25
+REPEAT = 5
+
+
+def _best(code, repeat: int = REPEAT) -> float:
+    run_code(code)  # warmup
+    timings = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        run_code(code)
+        timings.append(time.perf_counter() - start)
+    return min(timings)
+
+
+def main() -> int:
+    baseline_path = REPO / "BENCH_vm.json"
+    baseline = json.loads(baseline_path.read_text())
+    by_name = {m["name"]: m for m in baseline["measurements"]}
+
+    # The two fastest workloads by the committed -O2 run time.
+    o2_times = {
+        name: by_name[f"vm/S/O2/{name}"]["best_s"]
+        for name in VM_WORKLOADS
+        if f"vm/S/O2/{name}" in by_name
+    }
+    if len(o2_times) < 2:
+        print(f"perf-smoke: {baseline_path.name} has no vm/S/O2 measurements; "
+              "re-record with `python benchmarks/bench_vm.py --json`")
+        return 1
+    fastest = sorted(o2_times, key=o2_times.get)[:2]
+
+    committed = geomean(
+        [by_name[f"speedup/{name}"]["o2_vs_o0"] for name in fastest]
+    )
+
+    current_ratios = []
+    for name in fastest:
+        term_b, check, _ = VM_WORKLOADS[name]
+        code_o0 = compile_term(term_b, opt_level=0)
+        code_o2 = compile_term(term_b, opt_level=2)
+        outcome = run_code(code_o2)
+        assert outcome.is_value and check(outcome.python_value()), name
+        ratio = _best(code_o0) / _best(code_o2)
+        current_ratios.append(ratio)
+        print(f"perf-smoke: {name}: -O2 over -O0 now {ratio:.2f}x "
+              f"(committed {by_name[f'speedup/{name}']['o2_vs_o0']:.2f}x)")
+
+    current = geomean(current_ratios)
+    floor = committed * (1 - SLIP_TOLERANCE)
+    verdict = "ok" if current >= floor else "REGRESSION"
+    print(f"perf-smoke: geomean {current:.2f}x vs committed {committed:.2f}x "
+          f"(floor {floor:.2f}x): {verdict}")
+    return 0 if current >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

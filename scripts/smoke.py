@@ -49,6 +49,28 @@ print("vm:", run_on_vm(term))
 print("vm bad:", run_on_vm(bad))
 print("vm embed:", run_on_vm(emb))
 
+# The optimizer levels agree with each other (and the -O2 disassembly —
+# superinstructions and all — round-trips through the parser).
+from repro.compiler import (
+    compile_term,
+    disassemble,
+    instruction_streams,
+    parse_disassembly,
+)
+
+for probe in (term, bad, emb):
+    o0 = run_on_vm(probe, opt_level=0)
+    o2 = run_on_vm(probe, opt_level=2)
+    assert o0.kind == o2.kind, (o0, o2)
+    if o0.is_value:
+        assert o0.python_value() == o2.python_value()
+    if o0.is_blame:
+        assert o0.label == o2.label
+for level in (0, 1, 2):
+    code = compile_term(emb, opt_level=level)
+    assert parse_disassembly(disassemble(code)) == instruction_streams(code), level
+print("optimizer levels + disassembly round trip: ok")
+
 # The threesome mediator backend (machine and VM) agrees too.
 from repro.machine import run_on_machine
 
@@ -81,4 +103,13 @@ with tempfile.TemporaryDirectory() as tmp:
     assert cli_main(["compile", str(good), "--mediator", "threesome"]) == 0
     assert cli_main(["run", str(spin), "--fuel", "5000"]) == 3
     assert cli_main(["run", str(good), "--mediator", "threesome", "--calculus", "B"]) == 2
+    # The optimizer flag: -O0 and -O2 agree end to end, on both subcommands.
+    assert cli_main(["run", str(good), "--engine", "vm", "-O", "0"]) == 0
+    assert cli_main(["run", str(good), "--engine", "vm", "-O", "2"]) == 0
+    assert cli_main(["run", str(good), "--engine", "vm", "--opt-level", "1"]) == 0
+    assert cli_main(["compile", str(good), "-O", "0"]) == 0
+    assert cli_main(["compile", str(good), "-O", "2"]) == 0
+    assert cli_main(["compile", str(good), "-O", "2", "--mediator", "threesome"]) == 0
+    assert cli_main(["run", str(spin), "--engine", "vm", "-O", "0", "--fuel", "5000"]) == 3
+    assert cli_main(["run", str(spin), "--engine", "vm", "-O", "2", "--fuel", "5000"]) == 3
 print("cli flags + exit codes: ok")

@@ -5,11 +5,14 @@ Installed as ``repro-gradual``.  Subcommands:
 * ``run FILE``        — parse, type check, insert casts, evaluate (choose the
   calculus with ``--calculus``, the engine with ``--engine``: the CEK
   machine by default, the bytecode VM with ``--engine vm``, or the
-  substitution-based reference oracle; and the pending-mediator
+  substitution-based reference oracle; the pending-mediator
   representation with ``--mediator``: λS coercions composed with ``#`` by
-  default, or threesomes composed with labeled-type ``∘``).
+  default, or threesomes composed with labeled-type ``∘``; and the VM's
+  optimization level with ``-O {0,1,2}``, default ``-O2``).
 * ``compile FILE``    — lower to λS bytecode and print the disassembly and
-  constant pool (``--mediator threesome`` pre-interns labeled types).
+  constant pool (``--mediator threesome`` pre-interns labeled types;
+  ``-O`` selects the optimizer level, so ``-O0`` vs ``-O2`` diffs show the
+  elisions, pre-compositions, and superinstruction fusions).
 * ``check FILE``      — static gradual type checking only.
 * ``translate FILE``  — print the elaborated λB term, or its λC / λS translation.
 * ``space N``         — reproduce the space-efficiency experiment for the
@@ -68,6 +71,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         engine=engine,
         mediator=args.mediator,
         fuel=args.fuel,
+        opt_level=args.opt_level,
     )
     print(result)
     if args.show_space and result.space_stats is not None:
@@ -85,7 +89,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
     program = _load_program(args.file)
     term, _ = elaborate_program(program)
-    print(disassemble(compile_term(term, mediator=args.mediator)))
+    print(disassemble(compile_term(term, mediator=args.mediator, opt_level=args.opt_level)))
     return EXIT_VALUE
 
 
@@ -145,6 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(labeled types) merged with labeled-type composition")
     run_parser.add_argument("--small-step", action="store_true",
                             help="alias for --engine subst (the paper-faithful small-step reducer)")
+    run_parser.add_argument("-O", "--opt-level", type=int, choices=[0, 1, 2], default=2,
+                            help="bytecode optimizer level for the vm engine: 0 none, "
+                                 "1 static coercion elision + pre-composition, "
+                                 "2 (default) superinstructions + inline mediator caches")
     run_parser.add_argument("--show-space", action="store_true", help="print space statistics")
     run_parser.add_argument("--fuel", type=int, default=None)
     run_parser.set_defaults(handler=_cmd_run)
@@ -156,6 +164,9 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument("--mediator", choices=["coercion", "threesome"], default="coercion",
                                 help="mediator-pool representation: interned canonical "
                                      "coercions (default) or pre-translated threesomes")
+    compile_parser.add_argument("-O", "--opt-level", type=int, choices=[0, 1, 2], default=2,
+                                help="optimizer level to disassemble at (default 2; "
+                                     "compare against -O0 to see the rewrites)")
     compile_parser.set_defaults(handler=_cmd_compile)
 
     check_parser = sub.add_parser("check", help="gradually type check a program")

@@ -20,9 +20,10 @@ the machine and the substitution reducers and compares observables.
 
 from __future__ import annotations
 
-from .bytecode import CodeObject, ConstantPool, all_code_objects
+from .bytecode import SUPERINSTRUCTIONS, CodeObject, ConstantPool, all_code_objects
 from .disasm import disassemble, instruction_streams, parse_disassembly
 from .lower import lower_program
+from .opt import DEFAULT_OPT_LEVEL, OPT_LEVELS, hot_pairs, optimize
 from .vm import (
     DEFAULT_VM_FUEL,
     THE_VM,
@@ -36,11 +37,16 @@ from .vm import (
 __all__ = [
     "CodeObject",
     "ConstantPool",
+    "SUPERINSTRUCTIONS",
     "all_code_objects",
     "disassemble",
     "instruction_streams",
     "parse_disassembly",
     "lower_program",
+    "DEFAULT_OPT_LEVEL",
+    "OPT_LEVELS",
+    "optimize",
+    "hot_pairs",
     "DEFAULT_VM_FUEL",
     "THE_VM",
     "VM",

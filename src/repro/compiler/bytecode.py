@@ -41,6 +41,31 @@ result coercion in tail position is *composed* into the one pending slot of
 the live frame instead of pushing a stack frame whose only job is to apply
 it, so boundary-crossing tail loops run in constant space — the VM-level
 image of the λS machine's merged ``KMediate`` frames.
+
+**Superinstructions** (emitted by the optimizer, :mod:`repro.compiler.opt`,
+at ``-O2``): each fuses one statically adjacent pair that a dynamic
+frequency count over the benchmark workloads showed hot, saving a dispatch
+— and usually a stack round trip — per execution.  When both halves carry
+an operand the two indices are packed into one int as
+``(first << FUSED_SHIFT) | second`` (:func:`pack_operands`); when one half
+is operand-less the other half's operand is used unpacked.
+
+=======================  ==================  ================================
+superinstruction         operands            fuses
+=======================  ==================  ================================
+``LOAD2``                slot, slot          ``LOAD``; ``LOAD``
+``LOAD_PUSH``            slot, const         ``LOAD``; ``PUSH_CONST``
+``LOAD_COERCE``          slot, coercion      ``LOAD``; ``COERCE``
+``LOAD_PRIM``            slot, prim          ``LOAD``; ``PRIM``
+``LOAD_CALL``            slot                ``LOAD``; ``CALL``
+``LOAD_TAILCALL``        slot                ``LOAD``; ``TAILCALL``
+``LOAD_CLOSURE``         slot, code          ``LOAD``; ``MAKE_CLOSURE``
+``PUSH_PRIM``            const, prim         ``PUSH_CONST``; ``PRIM``
+``PUSH_COERCE``          const, coercion     ``PUSH_CONST``; ``COERCE``
+``PRIM_JUMP_IF_FALSE``   prim, pc            ``PRIM``; ``JUMP_IF_FALSE``
+``CLOSURE_RETURN``       code                ``MAKE_CLOSURE``; ``RETURN``
+``JUMP_IF_FALSE_LOAD``   pc, slot            ``JUMP_IF_FALSE``; ``LOAD``
+=======================  ==================  ================================
 """
 
 from __future__ import annotations
@@ -74,6 +99,21 @@ PAIR = 14
 FST = 15
 SND = 16
 
+# Superinstructions (see the module docstring table).  Only the optimizer
+# emits these; the lowering pass sticks to the base set.
+LOAD2 = 17
+LOAD_PUSH = 18
+LOAD_COERCE = 19
+LOAD_PRIM = 20
+LOAD_CALL = 21
+LOAD_TAILCALL = 22
+LOAD_CLOSURE = 23
+PUSH_PRIM = 24
+PUSH_COERCE = 25
+PRIM_JUMP_IF_FALSE = 26
+CLOSURE_RETURN = 27
+JUMP_IF_FALSE_LOAD = 28
+
 OPCODE_NAMES = {
     PUSH_CONST: "PUSH_CONST",
     LOAD: "LOAD",
@@ -92,12 +132,70 @@ OPCODE_NAMES = {
     PAIR: "PAIR",
     FST: "FST",
     SND: "SND",
+    LOAD2: "LOAD2",
+    LOAD_PUSH: "LOAD_PUSH",
+    LOAD_COERCE: "LOAD_COERCE",
+    LOAD_PRIM: "LOAD_PRIM",
+    LOAD_CALL: "LOAD_CALL",
+    LOAD_TAILCALL: "LOAD_TAILCALL",
+    LOAD_CLOSURE: "LOAD_CLOSURE",
+    PUSH_PRIM: "PUSH_PRIM",
+    PUSH_COERCE: "PUSH_COERCE",
+    PRIM_JUMP_IF_FALSE: "PRIM_JUMP_IF_FALSE",
+    CLOSURE_RETURN: "CLOSURE_RETURN",
+    JUMP_IF_FALSE_LOAD: "JUMP_IF_FALSE_LOAD",
 }
 
 OPCODES_BY_NAME = {name: code for code, name in OPCODE_NAMES.items()}
 
 #: Opcodes whose operand is meaningless (always encoded as 0).
 NO_OPERAND = frozenset({CALL, TAILCALL, RETURN, PAIR, FST, SND})
+
+#: Which base pair each superinstruction fuses, in stream order.  The
+#: optimizer's peephole pass and the disassembler's operand decoding both
+#: key off this table, so adding a fusion is one entry here plus a dispatch
+#: arm in the VM.
+SUPERINSTRUCTIONS = {
+    LOAD2: (LOAD, LOAD),
+    LOAD_PUSH: (LOAD, PUSH_CONST),
+    LOAD_COERCE: (LOAD, COERCE),
+    LOAD_PRIM: (LOAD, PRIM),
+    LOAD_CALL: (LOAD, CALL),
+    LOAD_TAILCALL: (LOAD, TAILCALL),
+    LOAD_CLOSURE: (LOAD, MAKE_CLOSURE),
+    PUSH_PRIM: (PUSH_CONST, PRIM),
+    PUSH_COERCE: (PUSH_CONST, COERCE),
+    PRIM_JUMP_IF_FALSE: (PRIM, JUMP_IF_FALSE),
+    CLOSURE_RETURN: (MAKE_CLOSURE, RETURN),
+    JUMP_IF_FALSE_LOAD: (JUMP_IF_FALSE, LOAD),
+}
+
+#: Operand packing for superinstructions whose halves both carry an operand:
+#: ``(first << FUSED_SHIFT) | second``.  16 bits per half bounds every pool
+#: index, frame slot, and jump target a fusable site may reference; the
+#: optimizer skips fusion for the (never yet seen) larger operands.
+FUSED_SHIFT = 16
+FUSED_LIMIT = 1 << FUSED_SHIFT
+FUSED_MASK = FUSED_LIMIT - 1
+
+
+def pack_operands(op1: int, a: int, op2: int, b: int) -> int:
+    """The fused operand of ``(op1, a); (op2, b)`` (see :data:`FUSED_SHIFT`)."""
+    if op2 in NO_OPERAND:
+        return a
+    if op1 in NO_OPERAND:
+        return b
+    return (a << FUSED_SHIFT) | b
+
+
+def unpack_operands(fused_op: int, operand: int) -> tuple[int, int]:
+    """Recover the two halves' operands of a superinstruction's operand."""
+    op1, op2 = SUPERINSTRUCTIONS[fused_op]
+    if op2 in NO_OPERAND:
+        return operand, 0
+    if op1 in NO_OPERAND:
+        return 0, operand
+    return operand >> FUSED_SHIFT, operand & FUSED_MASK
 
 
 @dataclass
@@ -149,6 +247,14 @@ class ConstantPool:
         canon: object = intern_space(coercion)
         if self.mediator == "threesome":
             canon = threesome_of_coercion(canon)
+        return self.add_canonical_mediator(canon)
+
+    def add_canonical_mediator(self, canon: object) -> int:
+        """Pool an *already canonical* mediator in this pool's representation.
+
+        Used by the optimizer, whose pre-composed mediators come out of the
+        memoised ``#``/``∘`` already interned in the right representation.
+        """
         idx = self._coercion_index.get(id(canon))
         if idx is None:
             idx = len(self.coercions)
@@ -194,6 +300,8 @@ class CodeObject:
         "n_locals",
         "param",
         "local_names",
+        "caches",
+        "opt_level",
     )
 
     def __init__(
@@ -213,6 +321,12 @@ class CodeObject:
         self.n_locals = n_locals
         self.param = param
         self.local_names = local_names
+        # Set by the optimizer: per-site inline-cache cells (a list parallel
+        # to `instructions`, None until `-O2` allocates it; the VM leaves the
+        # caches off — the PR-3 baseline — when this is None) and the level
+        # the program was optimized at.
+        self.caches: list | None = None
+        self.opt_level = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -38,11 +38,13 @@ from .bytecode import (
     PRIM,
     PUSH_CONST,
     STORE,
+    SUPERINSTRUCTIONS,
     CodeObject,
     all_code_objects,
+    unpack_operands,
 )
 
-_INSTR_RE = re.compile(r"^\s*(\d+)\s+([A-Z_]+)(?:\s+(-?\d+))?\s*(?:;.*)?$")
+_INSTR_RE = re.compile(r"^\s*(\d+)\s+([A-Z][A-Z_0-9]*)(?:\s+(-?\d+))?\s*(?:;.*)?$")
 _CODE_RE = re.compile(r"^code\s+(\d+)\s+(\S+)")
 
 
@@ -65,6 +67,21 @@ def _comment(code: CodeObject, opcode: int, operand: int) -> str:
         return f"code {operand + 1} {child.name}"
     if opcode == JUMP or opcode == JUMP_IF_FALSE:
         return f"-> {operand}"
+    if opcode in SUPERINSTRUCTIONS:
+        # Decode the fused operand and describe both halves, so an -O2
+        # stream reads like the pair it replaced.
+        op1, op2 = SUPERINSTRUCTIONS[opcode]
+        a, b = unpack_operands(opcode, operand)
+        parts = []
+        for sub_op, sub_operand in ((op1, a), (op2, b)):
+            sub_comment = _comment(code, sub_op, sub_operand)
+            if sub_op in NO_OPERAND:
+                parts.append(OPCODE_NAMES[sub_op])
+            elif sub_comment:
+                parts.append(f"{OPCODE_NAMES[sub_op]} {sub_operand} [{sub_comment}]")
+            else:
+                parts.append(f"{OPCODE_NAMES[sub_op]} {sub_operand}")
+        return " + ".join(parts)
     return ""
 
 
@@ -83,7 +100,7 @@ def disassemble(code: CodeObject) -> str:
             if opcode in NO_OPERAND:
                 lines.append(f"  {pc:4d}  {name}{suffix}")
             else:
-                lines.append(f"  {pc:4d}  {name:<14}{operand}{suffix}")
+                lines.append(f"  {pc:4d}  {name:<18} {operand}{suffix}")
         lines.append("")
 
     pool = code.pool

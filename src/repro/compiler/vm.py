@@ -1,12 +1,13 @@
 """The coercion-aware bytecode VM — the fast λS engine.
 
 One Python-level loop executes the flat instruction stream produced by
-:mod:`repro.compiler.lower`.  Dispatch is an integer comparison chain ordered
-by dynamic frequency (the closest Python gets to threaded code); every
-operand is a pool index resolved at compile time, so the hot loop touches no
-term, type, or name structure at all.  Compare the CEK machine, which pays
-an ``isinstance`` ladder over AST nodes plus an environment-dictionary copy
-per binding on every step.
+:mod:`repro.compiler.lower` (and reshaped by :mod:`repro.compiler.opt`).
+Dispatch is an integer comparison chain ordered by dynamic frequency (the
+closest Python gets to threaded code); every operand is a pool index
+resolved at compile time, so the hot loop touches no term, type, or name
+structure at all.  Compare the CEK machine, which pays an ``isinstance``
+ladder over AST nodes plus an environment-dictionary copy per binding on
+every step.
 
 Space efficiency lives in one slot per call frame: ``pending``, the single
 canonical coercion to apply to the frame's eventual result.
@@ -25,6 +26,27 @@ shared :class:`~repro.machine.profiler.MachineStats` accounting makes this
 directly comparable with the CEK machine's numbers (and is asserted by
 ``tests/test_compiler.py`` and ``benchmarks/bench_vm.py``).
 
+**Inline mediator caches.**  At ``-O2`` every instruction site owns a cache
+cell (``CodeObject.caches``), and the mediator opcodes become monomorphic
+inline caches keyed on *interned mediator identity*: a boundary tail loop
+re-applies and re-merges the same canonical mediators every iteration, so
+after the first trip each ``COERCE``/``COMPOSE``/proxy-unwrap/``RETURN``
+does a pointer compare plus a cached result instead of a policy isinstance
+ladder and a memo-dictionary lookup.  Cache layout per site kind:
+
+* coerce sites (``COERCE``/``LOAD_COERCE``): ``[proxy_mediator, composed,
+  action]`` for proxied subjects; non-proxy subjects use the pool-parallel
+  action table (the mediator is fixed per site);
+* ``COMPOSE`` sites: ``[pending_in, merged, size_in, size_merged]``;
+* call sites: ``[fun_mediator, dom, cod, dom_action, result_co, pending_in,
+  merged, size_in, size_merged]`` (unwrap cache + the tail-merge cache);
+* ``RETURN`` sites: ``[pending, action, size]``.
+
+Actions are the ``ACT_*`` codes of :mod:`repro.machine.policy`; anything
+but identity/wrap falls back to the policy's ``apply`` (which raises blame
+exactly as before).  A cache never changes observables — it short-circuits
+computations whose results are memoised on the same identities anyway.
+
 The VM executes λS only; ``run_on_vm`` translates a λB program first,
 mirroring ``run_on_machine``.
 
@@ -35,12 +57,14 @@ labeled types merged with memoised labeled-type composition ``∘``
 (``compile_term(term, mediator="threesome")``).  Both backends share the
 machine's :class:`~repro.machine.policy.MediationPolicy` semantics, so the
 space discipline above is representation-independent — asserted end to end
-by ``check_mediator_oracle``.
+by ``check_mediator_oracle`` (which also runs ``-O0`` against ``-O2`` on
+both backends).
 """
 
 from __future__ import annotations
 
 from ..core.errors import EvaluationError
+from ..core.fuel import DEFAULT_VM_FUEL
 from ..core.terms import Term
 from ..machine.cek import MachineOutcome
 from ..machine.policy import SPACE_POLICY, THREESOME_POLICY, MachineBlame, MediationPolicy
@@ -49,17 +73,31 @@ from ..machine.values import MConst, MFixWrap, MFunctionValue, MPair, MProxy
 from .bytecode import (
     BLAME,
     CALL,
+    CLOSURE_RETURN,
     COERCE,
     COMPOSE,
     FST,
+    FUSED_MASK,
+    FUSED_SHIFT,
     JUMP,
     JUMP_IF_FALSE,
+    JUMP_IF_FALSE_LOAD,
     LOAD,
+    LOAD2,
+    LOAD_CALL,
+    LOAD_CLOSURE,
+    LOAD_COERCE,
+    LOAD_PRIM,
+    LOAD_PUSH,
+    LOAD_TAILCALL,
     MAKE_CLOSURE,
     MAKE_FIX,
     PAIR,
     PRIM,
+    PRIM_JUMP_IF_FALSE,
+    PUSH_COERCE,
     PUSH_CONST,
+    PUSH_PRIM,
     RETURN,
     SND,
     STORE,
@@ -67,8 +105,7 @@ from .bytecode import (
     CodeObject,
     ConstantPool,
 )
-
-DEFAULT_VM_FUEL = 20_000_000
+from .opt import DEFAULT_OPT_LEVEL, optimize
 
 
 class VMClosure(MFunctionValue):
@@ -95,6 +132,10 @@ def _make_fix_apply_code() -> CodeObject:
 
 
 _FIX_APPLY = _make_fix_apply_code()
+#: The same unrolling step at ``-O2`` (``LOAD2; CALL; LOAD_TAILCALL``) —
+#: picked when the running program itself carries inline caches, so fix
+#: loops profit from fusion too while ``-O0`` runs stay byte-identical.
+_FIX_APPLY_O2 = optimize(_make_fix_apply_code(), 2)
 
 
 #: Mediator backends the VM can execute, keyed by each policy's declared
@@ -119,11 +160,40 @@ def _project(value, first: bool, policy: MediationPolicy):
     raise EvaluationError(f"projection of a non-pair value: {value!r}")
 
 
+def _pool_tables(pool: ConstantPool, policy: MediationPolicy) -> tuple[list, list]:
+    """Pool-parallel ``(actions, sizes)`` of the mediator entries, cached.
+
+    The action of applying a pool mediator to a non-proxy value is fixed per
+    entry, so the hot loop can answer it with a list index instead of the
+    policy's isinstance ladder.  Recomputed if the pool grew (it never does
+    after optimization, but the guard keeps staleness impossible).
+    """
+    tables = getattr(pool, "_vm_tables", None)
+    if tables is None or len(tables[0]) != len(pool.coercions):
+        tables = (
+            [policy.classify(c) for c in pool.coercions],
+            [policy.size(c) for c in pool.coercions],
+        )
+        pool._vm_tables = tables
+    return tables
+
+
 class VM:
     """Executes one compiled program.  Stateless between runs; reusable."""
 
-    def run(self, code: CodeObject, fuel: int = DEFAULT_VM_FUEL) -> MachineOutcome:
+    def run(
+        self,
+        code: CodeObject,
+        fuel: int = DEFAULT_VM_FUEL,
+        pair_counts: dict | None = None,
+    ) -> MachineOutcome:
         stats = MachineStats()
+        profile = pair_counts is not None
+        if profile:
+            stats.opcode_pairs = pair_counts
+        prev_insns = None
+        prev_pc = -2
+        prev_op = -1
         pool = code.pool
         consts = pool.consts
         coercions = pool.coercions
@@ -136,28 +206,223 @@ class VM:
         policy = VM_BACKENDS[pool.mediator]
         apply_co = policy.apply
         co_size = policy.size
+        classify = policy.classify
         compose_pending = policy.compose
         is_fun_proxy = policy.is_fun_proxy
         fun_parts = policy.fun_parts
         applications = 0
 
         stack: list = []  # the operand stack, shared across frames
-        frames: list = []  # saved caller frames: (insns, pc, locals, pending)
+        frames: list = []  # saved caller frames: (insns, pc, locals, pending, caches)
         insns = code.instructions
         pc = 0
         locals_: list = [None] * code.n_locals
         pending = None  # the frame's single pending result coercion
+        caches = code.caches  # per-site inline-cache cells (None below -O2)
+        if caches is not None:
+            co_actions, co_sizes = _pool_tables(pool, policy)
+            fix_code = _FIX_APPLY_O2
+        else:
+            co_actions = co_sizes = ()
+            fix_code = _FIX_APPLY
 
         try:
             for executed in range(fuel):
                 op, operand = insns[pc]
+                if profile:
+                    # Count *statically adjacent* dynamic pairs only: those
+                    # are the pairs a peephole pass could fuse.
+                    if insns is prev_insns and pc == prev_pc + 1:
+                        pair = (prev_op, op)
+                        pair_counts[pair] = pair_counts.get(pair, 0) + 1
+                    prev_insns, prev_pc, prev_op = insns, pc, op
                 pc += 1
 
                 if op == LOAD:
                     stack.append(locals_[operand])
+                elif op == LOAD2:
+                    stack.append(locals_[operand >> FUSED_SHIFT])
+                    stack.append(locals_[operand & FUSED_MASK])
+                elif op == CALL or op == TAILCALL or op == LOAD_CALL or op == LOAD_TAILCALL:
+                    if op == CALL or op == TAILCALL:
+                        arg = stack.pop()
+                        tail = op == TAILCALL
+                    else:
+                        arg = locals_[operand]
+                        tail = op == LOAD_TAILCALL
+                    fun = stack.pop()
+                    result_co = None
+                    # Unwrap proxy layers: coerce the argument now, defer the
+                    # result coercion into a pending slot.
+                    if fun.__class__ is MProxy:
+                        cell = caches[pc - 1] if caches is not None else None
+                        if cell is not None and fun.mediator is cell[0]:
+                            # Inline-cache hit: dom/cod and the dom action
+                            # resolved by one pointer compare.
+                            applications += 1
+                            dom = cell[1]
+                            act = cell[3]
+                            if act == 1:  # ACT_WRAP
+                                if arg.__class__ is MProxy:
+                                    arg = apply_co(arg, dom)
+                                else:
+                                    arg = MProxy(arg, dom)
+                            elif act != 0:  # not ACT_IDENTITY
+                                arg = apply_co(arg, dom)
+                            result_co = cell[2]
+                            fun = fun.under
+                        else:
+                            first = caches is not None
+                            while fun.__class__ is MProxy:
+                                mediator = fun.mediator
+                                if not is_fun_proxy(mediator):
+                                    break
+                                applications += 1
+                                dom, cod = fun_parts(mediator)
+                                if first:
+                                    caches[pc - 1] = [
+                                        mediator, dom, cod, classify(dom),
+                                        None, None, None, 0, 0,
+                                    ]
+                                    first = False
+                                arg = apply_co(arg, dom)
+                                result_co = (
+                                    cod if result_co is None
+                                    else compose_pending(cod, result_co)
+                                )
+                                fun = fun.under
+                    if fun.__class__ is VMClosure:
+                        callee = fun.code
+                        new_locals = list(fun.free)
+                        new_locals.append(arg)
+                        extra = callee.n_locals - len(new_locals)
+                        if extra:
+                            new_locals.extend([None] * extra)
+                    elif fun.__class__ is MFixWrap:
+                        functional = fun.functional
+                        callee = fix_code
+                        new_locals = [functional, MFixWrap(functional, fun.fun_type), arg]
+                    else:
+                        raise EvaluationError(f"application of a non-function value: {fun!r}")
+                    if not tail:
+                        frames.append((insns, pc, locals_, pending, caches))
+                        stats.note_depth(len(frames))
+                        pending = result_co
+                        if result_co is not None:
+                            stats.push_mediator(co_size(result_co))
+                    else:  # reuse the frame, keep the pending slot
+                        if result_co is not None:
+                            if pending is None:
+                                pending = result_co
+                                stats.push_mediator(co_size(result_co))
+                            else:
+                                cell = caches[pc - 1] if caches is not None else None
+                                if (
+                                    cell is not None
+                                    and result_co is cell[4]
+                                    and pending is cell[5]
+                                ):
+                                    stats.replace_mediator(cell[7], cell[8])
+                                    pending = cell[6]
+                                else:
+                                    merged = compose_pending(result_co, pending)
+                                    size_in = co_size(pending)
+                                    size_merged = co_size(merged)
+                                    stats.replace_mediator(size_in, size_merged)
+                                    if cell is not None:
+                                        cell[4] = result_co
+                                        cell[5] = pending
+                                        cell[6] = merged
+                                        cell[7] = size_in
+                                        cell[8] = size_merged
+                                    pending = merged
+                    insns = callee.instructions
+                    pc = 0
+                    locals_ = new_locals
+                    caches = callee.caches
                 elif op == PUSH_CONST:
                     stack.append(consts[operand])
-                elif op == PRIM:
+                elif op == PUSH_PRIM:
+                    fn, arity, result_type, name = prims[operand & FUSED_MASK]
+                    b = consts[operand >> FUSED_SHIFT]
+                    if arity == 2:
+                        a = stack[-1]
+                        if a.__class__ is not MConst:
+                            raise EvaluationError(
+                                f"operator {name!r} applied to a non-constant: {a!r}"
+                            )
+                        stack[-1] = MConst(fn(a.value, b.value), result_type)
+                    else:  # the optimizer only fuses arity-1/2 primitives
+                        stack.append(MConst(fn(b.value), result_type))
+                elif op == LOAD_PUSH:
+                    stack.append(locals_[operand >> FUSED_SHIFT])
+                    stack.append(consts[operand & FUSED_MASK])
+                elif op == LOAD_COERCE or op == COERCE:
+                    if op == COERCE:
+                        value = stack[-1]
+                        coercion_index = operand
+                        push = False
+                    else:
+                        value = locals_[operand >> FUSED_SHIFT]
+                        coercion_index = operand & FUSED_MASK
+                        push = True
+                    applications += 1
+                    if caches is not None:
+                        if value.__class__ is MProxy:
+                            cell = caches[pc - 1]
+                            mediator = value.mediator
+                            if cell is not None and mediator is cell[0]:
+                                composed = cell[1]
+                                act = cell[2]
+                            else:
+                                composed = compose_pending(mediator, coercions[coercion_index])
+                                act = classify(composed)
+                                caches[pc - 1] = [mediator, composed, act]
+                            if act == 1:  # ACT_WRAP
+                                value = MProxy(value.under, composed)
+                            elif act == 0:  # ACT_IDENTITY
+                                value = value.under
+                            else:
+                                value = apply_co(value.under, composed)
+                        else:
+                            act = co_actions[coercion_index]
+                            if act == 1:
+                                value = MProxy(value, coercions[coercion_index])
+                            elif act != 0:
+                                value = apply_co(value, coercions[coercion_index])
+                    else:
+                        value = apply_co(value, coercions[coercion_index])
+                    if push:
+                        stack.append(value)
+                    else:
+                        stack[-1] = value
+                elif op == PRIM_JUMP_IF_FALSE:
+                    fn, arity, result_type, name = prims[operand >> FUSED_SHIFT]
+                    if arity == 2:
+                        b = stack.pop()
+                        a = stack.pop()
+                        if a.__class__ is not MConst or b.__class__ is not MConst:
+                            raise EvaluationError(
+                                f"operator {name!r} applied to a non-constant"
+                            )
+                        cond = fn(a.value, b.value)
+                    else:
+                        a = stack.pop()
+                        if a.__class__ is not MConst:
+                            raise EvaluationError(
+                                f"operator {name!r} applied to a non-constant: {a!r}"
+                            )
+                        cond = fn(a.value)
+                    if not isinstance(cond, bool):
+                        raise EvaluationError(
+                            f"if-condition is not a boolean: {MConst(cond, result_type)!r}"
+                        )
+                    if not cond:
+                        pc = operand & FUSED_MASK
+                elif op == PRIM or op == LOAD_PRIM:
+                    if op == LOAD_PRIM:
+                        stack.append(locals_[operand >> FUSED_SHIFT])
+                        operand = operand & FUSED_MASK
                     fn, arity, result_type, name = prims[operand]
                     if arity == 1:
                         a = stack[-1]
@@ -189,81 +454,82 @@ class VM:
                         raise EvaluationError(f"if-condition is not a boolean: {cond!r}")
                     if not cond.value:
                         pc = operand
+                elif op == JUMP_IF_FALSE_LOAD:
+                    cond = stack.pop()
+                    if cond.__class__ is not MConst or not isinstance(cond.value, bool):
+                        raise EvaluationError(f"if-condition is not a boolean: {cond!r}")
+                    if not cond.value:
+                        pc = operand >> FUSED_SHIFT
+                    else:
+                        stack.append(locals_[operand & FUSED_MASK])
                 elif op == JUMP:
                     pc = operand
-                elif op == CALL or op == TAILCALL:
-                    arg = stack.pop()
-                    fun = stack.pop()
-                    result_co = None
-                    # Unwrap proxy layers: coerce the argument now, defer the
-                    # result coercion into a pending slot.
-                    while fun.__class__ is MProxy:
-                        mediator = fun.mediator
-                        if not is_fun_proxy(mediator):
-                            break
-                        applications += 1
-                        dom, cod = fun_parts(mediator)
-                        arg = apply_co(arg, dom)
-                        result_co = cod if result_co is None else compose_pending(cod, result_co)
-                        fun = fun.under
-                    if fun.__class__ is VMClosure:
-                        callee = fun.code
-                        new_locals = list(fun.free)
-                        new_locals.append(arg)
-                        extra = callee.n_locals - len(new_locals)
-                        if extra:
-                            new_locals.extend([None] * extra)
-                    elif fun.__class__ is MFixWrap:
-                        functional = fun.functional
-                        callee = _FIX_APPLY
-                        new_locals = [functional, MFixWrap(functional, fun.fun_type), arg]
-                    else:
-                        raise EvaluationError(f"application of a non-function value: {fun!r}")
-                    if op == CALL:
-                        frames.append((insns, pc, locals_, pending))
-                        stats.note_depth(len(frames))
-                        pending = result_co
-                        if result_co is not None:
-                            stats.push_mediator(co_size(result_co))
-                    else:  # TAILCALL: reuse the frame, keep the pending slot
-                        if result_co is not None:
-                            if pending is None:
-                                pending = result_co
-                                stats.push_mediator(co_size(result_co))
-                            else:
-                                merged = compose_pending(result_co, pending)
-                                stats.replace_mediator(co_size(pending), co_size(merged))
-                                pending = merged
-                    insns = callee.instructions
-                    pc = 0
-                    locals_ = new_locals
                 elif op == COMPOSE:
                     coercion = coercions[operand]
                     if pending is None:
                         pending = coercion
-                        stats.push_mediator(co_size(coercion))
+                        stats.push_mediator(
+                            co_sizes[operand] if caches is not None else co_size(coercion)
+                        )
+                    elif caches is not None:
+                        cell = caches[pc - 1]
+                        if cell is not None and pending is cell[0]:
+                            stats.replace_mediator(cell[2], cell[3])
+                            pending = cell[1]
+                        else:
+                            merged = compose_pending(coercion, pending)
+                            size_in = co_size(pending)
+                            size_merged = co_size(merged)
+                            stats.replace_mediator(size_in, size_merged)
+                            caches[pc - 1] = [pending, merged, size_in, size_merged]
+                            pending = merged
                     else:
                         merged = compose_pending(coercion, pending)
                         stats.replace_mediator(co_size(pending), co_size(merged))
                         pending = merged
-                elif op == COERCE:
-                    applications += 1
-                    stack[-1] = apply_co(stack[-1], coercions[operand])
-                elif op == RETURN:
-                    value = stack.pop()
+                elif op == RETURN or op == CLOSURE_RETURN:
+                    if op == RETURN:
+                        value = stack.pop()
+                    else:  # CLOSURE_RETURN: build the closure, return it
+                        child = codes[operand]
+                        n_free = child.n_free
+                        if n_free:
+                            free = tuple(stack[-n_free:])
+                            del stack[-n_free:]
+                        else:
+                            free = ()
+                        value = VMClosure(child, free)
                     if pending is not None:
                         applications += 1
-                        stats.pop_mediator(co_size(pending))
-                        value = apply_co(value, pending)
+                        if caches is not None and value.__class__ is not MProxy:
+                            cell = caches[pc - 1]
+                            if cell is not None and pending is cell[0]:
+                                act = cell[1]
+                                stats.pop_mediator(cell[2])
+                            else:
+                                act = classify(pending)
+                                size = co_size(pending)
+                                caches[pc - 1] = [pending, act, size]
+                                stats.pop_mediator(size)
+                            if act == 1:  # ACT_WRAP
+                                value = MProxy(value, pending)
+                            elif act != 0:
+                                value = apply_co(value, pending)
+                        else:
+                            stats.pop_mediator(co_size(pending))
+                            value = apply_co(value, pending)
                     if not frames:
                         stats.steps = executed + 1
                         stats.mediator_applications = applications
                         return MachineOutcome("value", value=value, stats=stats.snapshot())
-                    insns, pc, locals_, pending = frames.pop()
+                    insns, pc, locals_, pending, caches = frames.pop()
                     stack.append(value)
                 elif op == STORE:
                     locals_[operand] = stack.pop()
-                elif op == MAKE_CLOSURE:
+                elif op == MAKE_CLOSURE or op == LOAD_CLOSURE:
+                    if op == LOAD_CLOSURE:
+                        stack.append(locals_[operand >> FUSED_SHIFT])
+                        operand = operand & FUSED_MASK
                     child = codes[operand]
                     n_free = child.n_free
                     if n_free:
@@ -272,6 +538,17 @@ class VM:
                     else:
                         free = ()
                     stack.append(VMClosure(child, free))
+                elif op == PUSH_COERCE:
+                    applications += 1
+                    coercion_index = operand & FUSED_MASK
+                    value = consts[operand >> FUSED_SHIFT]  # an MConst: never a proxy
+                    act = co_actions[coercion_index]
+                    if act == 1:  # ACT_WRAP
+                        stack.append(MProxy(value, coercions[coercion_index]))
+                    elif act == 0:  # ACT_IDENTITY
+                        stack.append(value)
+                    else:
+                        stack.append(apply_co(value, coercions[coercion_index]))
                 elif op == MAKE_FIX:
                     stack.append(MFixWrap(stack.pop(), consts[operand]))
                 elif op == PAIR:
@@ -299,24 +576,33 @@ class VM:
 THE_VM = VM()
 
 
-def compile_term(term_b: Term, mediator: str = "coercion") -> CodeObject:
-    """Compile an elaborated λB term: translate ``|·|BC`` then ``|·|CS``, lower.
+def compile_term(
+    term_b: Term, mediator: str = "coercion", opt_level: int = DEFAULT_OPT_LEVEL
+) -> CodeObject:
+    """Compile an elaborated λB term: translate ``|·|BC`` then ``|·|CS``, lower,
+    optimize.
 
     ``mediator`` picks the pool representation the VM will execute —
     ``"coercion"`` (canonical coercions, ``#``) or ``"threesome"`` (labeled
-    types, ``∘``).
+    types, ``∘``); ``opt_level`` is the ``-O`` level (0 none, 1 static
+    mediator elision/pre-composition, 2 — the default — superinstructions
+    and inline caches too; see :mod:`repro.compiler.opt`).
     """
     from ..translate import b_to_c, c_to_s
     from .lower import lower_program
 
-    return lower_program(c_to_s(b_to_c(term_b)), mediator=mediator)
+    code = lower_program(c_to_s(b_to_c(term_b)), mediator=mediator)
+    return optimize(code, opt_level)
 
 
 def run_on_vm(
-    term_b: Term, fuel: int = DEFAULT_VM_FUEL, mediator: str = "coercion"
+    term_b: Term,
+    fuel: int = DEFAULT_VM_FUEL,
+    mediator: str = "coercion",
+    opt_level: int = DEFAULT_OPT_LEVEL,
 ) -> MachineOutcome:
     """Compile a λB term to bytecode and run it on the VM (λS semantics)."""
-    return THE_VM.run(compile_term(term_b, mediator=mediator), fuel)
+    return THE_VM.run(compile_term(term_b, mediator=mediator, opt_level=opt_level), fuel)
 
 
 def run_code(code: CodeObject, fuel: int = DEFAULT_VM_FUEL) -> MachineOutcome:

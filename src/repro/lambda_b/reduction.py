@@ -315,7 +315,7 @@ class Outcome:
         return f"timeout after {self.steps} steps"
 
 
-DEFAULT_FUEL = 100_000
+from ..core.fuel import DEFAULT_REDUCTION_FUEL as DEFAULT_FUEL
 
 
 def trace(term: Term, fuel: int = DEFAULT_FUEL) -> Iterator[Term]:

@@ -64,7 +64,7 @@ from .values import (
     machine_value_to_python,
 )
 
-DEFAULT_MACHINE_FUEL = 5_000_000
+from ..core.fuel import DEFAULT_MACHINE_FUEL
 
 
 @dataclass(frozen=True)

@@ -49,6 +49,18 @@ class MachineBlame(Exception):
         self.label = label
 
 
+#: Action codes returned by :meth:`MediationPolicy.classify`: what applying a
+#: mediator to a **non-proxy** value does.  ``ACT_IDENTITY`` — the value is
+#: returned unchanged; ``ACT_WRAP`` — the value is wrapped in an
+#: :class:`~repro.machine.values.MProxy` carrying the mediator;
+#: ``ACT_GENERAL`` — anything else (blame, projection errors): callers must
+#: fall back to :meth:`MediationPolicy.apply`.  The VM's inline mediator
+#: caches (:mod:`repro.compiler.vm`) key these actions on interned mediator
+#: identity so the steady-state hot loop replaces the policy's isinstance
+#: ladder with one pointer compare.
+ACT_IDENTITY, ACT_WRAP, ACT_GENERAL = 0, 1, 2
+
+
 class MediationPolicy:
     """Interface implemented by the per-calculus policies."""
 
@@ -84,6 +96,18 @@ class MediationPolicy:
 
     def size(self, mediator: object) -> int:
         raise NotImplementedError
+
+    def is_identity(self, mediator: object) -> bool:
+        """Is applying this mediator a no-op on *every* machine value?"""
+        raise NotImplementedError
+
+    def classify(self, mediator: object) -> int:
+        """The ``ACT_*`` action of applying this mediator to a non-proxy value.
+
+        Only merging policies (the VM backends) need this; conservative
+        policies may answer :data:`ACT_GENERAL` for everything.
+        """
+        return ACT_GENERAL
 
 
 # ---------------------------------------------------------------------------
@@ -287,6 +311,19 @@ class SpacePolicy(MediationPolicy):
             self._size_cache[id(s)] = cached
         return cached
 
+    def is_identity(self, s: co_s.SpaceCoercion) -> bool:
+        # The *canonical* identities (id? → id?, idι × idι, …) also act as
+        # no-ops: their applications only wrap values in proxies whose parts
+        # are identities again.  Used by the optimizer's static elision.
+        return co_s.is_canonical_identity(s)
+
+    def classify(self, s: co_s.SpaceCoercion) -> int:
+        if isinstance(s, (co_s.IdBase, co_s.IdDyn)):
+            return ACT_IDENTITY
+        if isinstance(s, (co_s.FunCo, co_s.ProdCo, co_s.Injection)):
+            return ACT_WRAP
+        return ACT_GENERAL  # FailS blames, Projection errors — via apply()
+
 
 # ---------------------------------------------------------------------------
 # λS with threesomes: labeled types as mediators, merged with ∘
@@ -427,6 +464,27 @@ class ThreesomePolicy(MediationPolicy):
             cached = threesome_size(t)
             self._size_cache[id(t)] = cached
         return cached
+
+    def is_identity(self, t: Threesome) -> bool:
+        # Mirror SpacePolicy.is_identity through the §6.1 representation map,
+        # so the optimizer elides exactly the same mediators on both
+        # backends (canonical identities included).
+        from ..lambda_s.coercions import is_canonical_identity
+        from ..threesomes.runtime import coercion_of_threesome
+
+        return is_canonical_identity(coercion_of_threesome(t))
+
+    def classify(self, t: Threesome) -> int:
+        action = self._action_cache.get(id(t))
+        if action is None:
+            t = intern_threesome(t)
+            action = self._classify(t)
+            self._action_cache[id(t)] = action
+        if action == self._IDENTITY:
+            return ACT_IDENTITY
+        if action == self._PROXY:
+            return ACT_WRAP
+        return ACT_GENERAL  # _BLAME and _PROJECT_ERROR — via apply()
 
 
 BLAME_POLICY = BlamePolicy()

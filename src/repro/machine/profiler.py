@@ -32,6 +32,10 @@ class MachineStats:
     pending_size: int = field(default=0, repr=False)
     merges: int = 0
     mediator_applications: int = 0
+    #: Dynamic frequencies of statically adjacent opcode pairs, filled only
+    #: when the VM runs with pair profiling on (``(op1, op2) -> count``).
+    #: This is the measurement behind the optimizer's superinstruction set.
+    opcode_pairs: dict | None = field(default=None, repr=False)
 
     def note_depth(self, depth: int) -> None:
         if depth > self.max_kont_depth:
@@ -58,7 +62,7 @@ class MachineStats:
             self.max_pending_size = self.pending_size
 
     def snapshot(self) -> dict[str, int]:
-        return {
+        result = {
             "steps": self.steps,
             "max_kont_depth": self.max_kont_depth,
             "max_pending_mediators": self.max_pending_mediators,
@@ -66,3 +70,6 @@ class MachineStats:
             "merges": self.merges,
             "mediator_applications": self.mediator_applications,
         }
+        if self.opcode_pairs is not None:
+            result["opcode_pairs"] = dict(self.opcode_pairs)
+        return result

@@ -296,11 +296,18 @@ def check_vm_oracle(
     iteration count* on boundary tail loops — is asserted by
     ``tests/test_compiler.py`` (two sizes compared) and recorded per
     workload by ``benchmarks/bench_vm.py``.
+
+    The optimizer is under the same oracle: the program is run at ``-O0``
+    (the raw lowered stream) and at ``-O2`` (elision, pre-composition,
+    superinstructions, inline caches) and the two must agree on the
+    projected value, the blame label, and timeouts; on top of the outcome,
+    ``-O2`` may only *shrink* the pending-mediator footprint (a statically
+    elided identity is one fewer pending mediator, never one more).
     """
     from ..compiler import run_on_vm
     from ..machine import run_on_machine
 
-    vm_outcome = run_on_vm(term_b, vm_fuel)
+    vm_outcome = run_on_vm(term_b, vm_fuel)  # the default -O2
     machine_outcome = run_on_machine(term_b, "S", machine_fuel)
 
     steps_vm = (vm_outcome.stats or {}).get("steps", 0)
@@ -312,6 +319,26 @@ def check_vm_oracle(
             False, steps_vm, steps_m,
             f"VM stacked pending coercions: {stats['max_pending_mediators']} pending "
             f"across {stats['max_kont_depth'] + 1} frames",
+            term_b, None,
+        )
+
+    # -O0 against -O2 (same engine, same step unit per instruction, but the
+    # fused stream takes fewer steps — so a one-sided timeout is *expected*
+    # near the fuel limit and always inconclusive, even when the caller
+    # asked for strict timeouts against the other oracles; this matches
+    # check_mediator_oracle's -O0/-O2 comparison).
+    unopt_outcome = run_on_vm(term_b, vm_fuel, opt_level=0)
+    steps_unopt = (unopt_outcome.stats or {}).get("steps", 0)
+    report = _compare_outcomes(vm_outcome, unopt_outcome, steps_vm, steps_unopt,
+                               "VM/-O2", "VM/-O0", term_b, strict_timeouts=False)
+    if not report.ok:
+        return report
+    pending_o2 = stats.get("max_pending_mediators", 0)
+    pending_o0 = (unopt_outcome.stats or {}).get("max_pending_mediators", 0)
+    if pending_o2 > pending_o0:
+        return BisimulationReport(
+            False, steps_vm, steps_unopt,
+            f"-O2 grew the pending-mediator footprint: {pending_o2} vs -O0's {pending_o0}",
             term_b, None,
         )
 
@@ -357,6 +384,12 @@ def check_mediator_oracle(
       backend: composing with ``∘`` must collapse pending mediators exactly
       where ``#`` does (on boundary tail loops both stay at 1, the λS space
       guarantee).
+
+    The VM half also runs each backend at ``-O0`` against the default
+    ``-O2``: outcomes must agree and the optimized footprint may only
+    shrink — the optimizer's rewrites (identity elision, static
+    pre-composition, fusion, inline caches) are mediator-representation
+    independent and this is where that is enforced.
     """
     from ..compiler import run_on_vm
     from ..machine import run_on_machine
@@ -400,6 +433,23 @@ def check_mediator_oracle(
             f"coercion {pending(coercion_v)} vs threesome {pending(threesome_v)}",
             term_b, None,
         )
+    # -O0 against -O2, per backend (the optimized stream takes fewer steps,
+    # so a one-sided timeout is inconclusive rather than a failure).
+    for backend, optimized in (("coercion", coercion_v), ("threesome", threesome_v)):
+        unopt = run_on_vm(term_b, vm_fuel, mediator=backend, opt_level=0)
+        report = _compare_outcomes(
+            optimized, unopt, steps(optimized), steps(unopt),
+            f"VM/{backend}/-O2", f"VM/{backend}/-O0", term_b, strict_timeouts=False,
+        )
+        if not report.ok:
+            return report
+        if pending(optimized) > pending(unopt):
+            return BisimulationReport(
+                False, steps(optimized), steps(unopt),
+                f"VM/{backend} -O2 grew the pending-mediator footprint: "
+                f"{pending(optimized)} vs -O0's {pending(unopt)}",
+                term_b, None,
+            )
     # Cross-engine: the threesome VM against the coercion machine (different
     # step units, so a one-sided timeout is inconclusive as usual).
     return _compare_outcomes(

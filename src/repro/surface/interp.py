@@ -3,10 +3,12 @@
 Three engines share one result type:
 
 * ``engine="vm"`` — the **bytecode VM** (:mod:`repro.compiler`): elaborated
-  terms are lowered to a flat instruction stream with pre-interned coercions
-  and executed by an integer-dispatch loop whose single pending-coercion
-  slot per frame preserves λS's space guarantee.  λS only; the fastest
-  engine.
+  terms are lowered to a flat instruction stream with pre-interned coercions,
+  optimized (``opt_level``: identity elision, static pre-composition with
+  ``#``/``∘``, peephole superinstructions and inline mediator caches at the
+  default ``-O2``), and executed by an integer-dispatch loop whose single
+  pending-coercion slot per frame preserves λS's space guarantee.  λS only;
+  the fastest engine.
 * ``engine="machine"`` (default) — the CEK machine (:mod:`repro.machine`):
   interned types and coercions, memoised ``#``, available for all three
   calculi, and the *oracle for the VM*.
@@ -36,15 +38,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..compiler.vm import DEFAULT_VM_FUEL, run_on_vm
+from ..compiler.opt import DEFAULT_OPT_LEVEL, OPT_LEVELS
+from ..compiler.vm import run_on_vm
 from ..core.errors import UsageError
+from ..core.fuel import DEFAULT_MACHINE_FUEL, DEFAULT_SUBST_FUEL, DEFAULT_VM_FUEL
 from ..core.labels import Label
 from ..core.terms import Term
 from ..core.types import Type
 from ..lambda_b import reduction as reduction_b
 from ..lambda_c import reduction as reduction_c
 from ..lambda_s import reduction as reduction_s
-from ..machine import DEFAULT_MACHINE_FUEL, MEDIATORS, run_on_machine
+from ..machine import MEDIATORS, run_on_machine
 from ..translate import b_to_c, c_to_s
 from .cast_insertion import elaborate_program
 from .parser import parse_program
@@ -55,8 +59,13 @@ from .parser import parse_program
 #: representations of the λS machine and the VM.
 ENGINES = ("vm", "machine", "subst")
 
-#: Default fuel per engine, in that engine's own step unit.
-DEFAULT_FUEL = {"vm": DEFAULT_VM_FUEL, "machine": DEFAULT_MACHINE_FUEL, "subst": 200_000}
+#: Default fuel per engine, in that engine's own step unit.  All three come
+#: from :mod:`repro.core.fuel`, the single source of fuel defaults.
+DEFAULT_FUEL = {
+    "vm": DEFAULT_VM_FUEL,
+    "machine": DEFAULT_MACHINE_FUEL,
+    "subst": DEFAULT_SUBST_FUEL,
+}
 
 
 @dataclass(frozen=True)
@@ -119,11 +128,12 @@ def run_source(
     fuel: int | None = None,
     engine: str = "machine",
     mediator: str = "coercion",
+    opt_level: int = DEFAULT_OPT_LEVEL,
 ) -> RunResult:
     """Run a surface program and report its outcome."""
     term, ty = compile_source(source)
     return run_term(term, ty, calculus=calculus, use_machine=use_machine,
-                    fuel=fuel, engine=engine, mediator=mediator)
+                    fuel=fuel, engine=engine, mediator=mediator, opt_level=opt_level)
 
 
 def run_term(
@@ -134,12 +144,22 @@ def run_term(
     fuel: int | None = None,
     engine: str = "machine",
     mediator: str = "coercion",
+    opt_level: int = DEFAULT_OPT_LEVEL,
 ) -> RunResult:
-    """Run an elaborated λB term on the chosen calculus, engine, and mediator."""
+    """Run an elaborated λB term on the chosen calculus, engine, and mediator.
+
+    ``opt_level`` is the bytecode optimizer's ``-O`` level (0/1/2, default
+    2); it shapes what the **vm** engine executes and is ignored by the tree
+    interpreters, which have no compilation stage.
+    """
     calculus = calculus.upper()
     engine = _resolve_engine(engine, use_machine)
     if mediator not in MEDIATORS:
         raise UsageError(f"unknown mediator {mediator!r}; expected one of {MEDIATORS}")
+    if opt_level not in OPT_LEVELS:
+        raise UsageError(
+            f"unknown optimization level {opt_level!r}; expected one of {OPT_LEVELS}"
+        )
     if fuel is None:
         fuel = DEFAULT_FUEL[engine]
 
@@ -149,7 +169,7 @@ def run_term(
                 f"engine 'vm' implements λS only (requested calculus {calculus!r}); "
                 "use engine='machine' for λB or λC"
             )
-        outcome = run_on_vm(term, fuel, mediator=mediator)
+        outcome = run_on_vm(term, fuel, mediator=mediator, opt_level=opt_level)
         return _from_machine_outcome(outcome, ty, calculus, engine, mediator)
 
     if engine == "machine":

@@ -77,6 +77,26 @@ class TestRunCommand:
         assert main(["run", square_program, "--engine", "vm", "--calculus", "B"]) == 2
         assert "error" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("level", ["0", "1", "2"])
+    def test_run_vm_engine_opt_levels_agree(self, square_program, level, capsys):
+        assert main(["run", square_program, "--engine", "vm", "-O", level]) == 0
+        assert "36" in capsys.readouterr().out
+
+    def test_opt_level_flag_spelled_out(self, square_program, capsys):
+        assert main(["run", square_program, "--engine", "vm", "--opt-level", "0"]) == 0
+        assert "36" in capsys.readouterr().out
+
+    def test_compile_opt_levels_round_trip(self, square_program, capsys):
+        from repro.compiler.disasm import parse_disassembly
+
+        streams = {}
+        for level in ("0", "2"):
+            assert main(["compile", square_program, "-O", level]) == 0
+            streams[level] = parse_disassembly(capsys.readouterr().out)
+        assert streams["0"] and streams["2"]
+        # -O2 must have rewritten something on this program (it has casts).
+        assert streams["0"] != streams["2"]
+
     def test_run_blaming_program_returns_nonzero(self, blame_program, capsys):
         assert main(["run", blame_program]) == 1
         assert "blame" in capsys.readouterr().out

@@ -161,13 +161,22 @@ class TestSpaceDiscipline:
         assert large["max_pending_mediators"] <= 2
 
     def test_tail_calls_reuse_frames(self):
-        stats = run_on_vm(tail_countdown_boundary(300)).stats
+        # At -O0 the boundary coercions survive to run time, so the loop
+        # must *merge* them into the single pending slot every iteration.
+        stats = run_on_vm(tail_countdown_boundary(300), opt_level=0).stats
         # One saved frame at most: the whole countdown runs in the entry frame.
         assert stats["max_kont_depth"] <= 1
         assert stats["merges"] >= 299
+        # At -O2 the same chain pre-composes statically (to the identity,
+        # here), but frame reuse is unchanged.
+        stats_o2 = run_on_vm(tail_countdown_boundary(300)).stats
+        assert stats_o2["max_kont_depth"] <= 1
 
     def test_compose_and_tailcall_are_emitted_for_tail_coercions(self):
-        code = compile_term(tail_countdown_boundary(5))
+        # -O0 keeps the lowered stream: the tail coercion is a COMPOSE.  At
+        # -O2 this particular chain pre-composes away and the tail call is
+        # fused into LOAD_TAILCALL — asserted by tests/test_opt.py.
+        code = compile_term(tail_countdown_boundary(5), opt_level=0)
         opcodes = {op for obj in all_code_objects(code) for op, _ in obj.instructions}
         assert COMPOSE in opcodes
         assert TAILCALL in opcodes

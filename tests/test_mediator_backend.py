@@ -121,9 +121,14 @@ class TestThreesomeVMBackend:
             assert instruction_streams(coercion_code) == instruction_streams(threesome_code)
 
     def test_vm_runs_values_blame_and_space(self):
-        value = run_on_vm(tail_countdown_boundary(100), mediator="threesome")
+        # -O0 keeps the boundary mediators at run time: exactly one pending
+        # threesome, composed in place.  At the default -O2 the optimizer
+        # pre-composes this workload's chain away entirely (still ≤ 1).
+        value = run_on_vm(tail_countdown_boundary(100), mediator="threesome", opt_level=0)
         assert value.is_value and value.python_value() is True
         assert value.stats["max_pending_mediators"] == 1
+        optimized = run_on_vm(tail_countdown_boundary(100), mediator="threesome")
+        assert optimized.is_value and optimized.stats["max_pending_mediators"] <= 1
 
         blame = run_on_vm(untyped_client_bad_argument(), mediator="threesome")
         reference = run_on_vm(untyped_client_bad_argument(), mediator="coercion")
