@@ -113,3 +113,54 @@ with tempfile.TemporaryDirectory() as tmp:
     assert cli_main(["run", str(spin), "--engine", "vm", "-O", "0", "--fuel", "5000"]) == 3
     assert cli_main(["run", str(spin), "--engine", "vm", "-O", "2", "--fuel", "5000"]) == 3
 print("cli flags + exit codes: ok")
+
+# Serialized images and the compile cache: compile -o IMAGE -> run IMAGE ->
+# batch over a corpus, with the cache isolated to a scratch directory.
+import json
+import os
+
+with tempfile.TemporaryDirectory() as tmp:
+    os.environ["REPRO_GRADUAL_CACHE_DIR"] = str(pathlib.Path(tmp) / "cache")
+    try:
+        corpus = pathlib.Path(tmp) / "corpus"
+        corpus.mkdir()
+        square_src = "(define (square [x : int]) : int (* x x))\n(square (: 6 ?))\n"
+        (corpus / "square.grad").write_text(square_src)
+        (corpus / "spin.grad").write_text(
+            "(define (spin [n : int]) : int (spin n))\n(spin 0)\n"
+        )
+        image = pathlib.Path(tmp) / "square.gradb"
+        assert cli_main(["compile", str(corpus / "square.grad"), "-O", "2",
+                         "-o", str(image)]) == 0
+        assert cli_main(["run", str(image), "--show-space"]) == 0
+        assert cli_main(["compile", str(image)]) == 0  # provenance + disassembly
+        # A cold then a warm cached run agree; --no-cache still agrees.
+        assert cli_main(["run", str(corpus / "square.grad"), "--engine", "vm"]) == 0
+        assert cli_main(["run", str(corpus / "square.grad"), "--engine", "vm"]) == 0
+        assert cli_main(["run", str(corpus / "square.grad"), "--engine", "vm",
+                         "--no-cache"]) == 0
+        # Loaded images reproduce the in-memory run exactly.
+        from repro.compiler import (
+            compile_term as compile_vm,
+            disassemble as disassemble_vm,
+            load_image,
+            run_code,
+        )
+        from repro.surface.interp import compile_source
+
+        term_b, _ = compile_source(square_src)
+        fresh_code = compile_vm(term_b)
+        loaded = load_image(image)
+        assert disassemble_vm(loaded.code) == disassemble_vm(fresh_code)
+        assert run_code(loaded.code).python_value() == run_code(fresh_code).python_value()
+        # The batch runner streams JSON-lines and exits 3 (timeout beats value).
+        assert cli_main(["batch", str(corpus), "--workers", "2", "--fuel", "5000"]) == 3
+        from repro.batch import run_batch
+
+        results, aggregate = run_batch([corpus], workers=1, fuel=5000)
+        json.dumps(results), json.dumps(aggregate)
+        assert aggregate["outcomes"] == {"value": 1, "blame": 0, "timeout": 1, "error": 0}
+        assert aggregate["cache"]["hit"] >= 1  # square was cached by the runs above
+    finally:
+        del os.environ["REPRO_GRADUAL_CACHE_DIR"]
+print("images + compile cache + batch: ok")

@@ -1,0 +1,265 @@
+"""The batch runner: corpus discovery, compile-once, parallel execution.
+
+The pipeline has two phases with different parallelism profiles:
+
+1. **Compile** (in the coordinating process, through the compile cache):
+   every program is parsed, elaborated, lowered, and optimized at most once
+   — and not at all when the cache is warm — yielding one serialized
+   ``.gradb`` image per program.  Front-end errors (unreadable files, parse
+   errors, type errors) are captured as per-program ``"error"`` results
+   here; they never reach a worker.
+
+2. **Execute** (across a ``multiprocessing`` pool): each worker receives
+   ``(name, image bytes, fuel)``, deserializes the image — re-interning its
+   pool into the worker's own canonical nodes — and runs it on the VM.
+   With ``workers=1`` everything runs inline in the coordinating process
+   (no pool, no pickling), which is also the deterministic-ordering mode
+   the tests use.
+
+Results are JSON-ready dicts, streamed through an ``on_result`` callback as
+they complete and aggregated by :func:`aggregate_results`.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from ..core.errors import ReproError
+from ..core.fuel import DEFAULT_VM_FUEL
+
+#: Manifest suffixes: a text file listing one program path per line
+#: (relative paths resolve against the manifest's directory; blank lines and
+#: ``#`` comments are skipped).
+MANIFEST_SUFFIXES = (".txt", ".list", ".manifest")
+
+#: Surface-program suffix discovered when a directory is given.
+PROGRAM_SUFFIX = ".grad"
+
+
+def discover_programs(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand directories, manifests, and files into the corpus to run.
+
+    Directories contribute their ``*.grad`` files (sorted, recursively);
+    manifests contribute the paths they list; anything else is taken as a
+    program file itself.  Order is deterministic: inputs in argument order,
+    directory contents sorted.  Duplicates (same resolved path) are kept
+    once, first occurrence wins.
+    """
+    corpus: list[Path] = []
+    seen: set[Path] = set()
+
+    def add(path: Path) -> None:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            corpus.append(path)
+
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for program in sorted(path.rglob(f"*{PROGRAM_SUFFIX}")):
+                add(program)
+        elif path.suffix in MANIFEST_SUFFIXES:
+            try:
+                lines = path.read_text().splitlines()
+            except OSError as exc:
+                raise FileNotFoundError(str(path)) from exc
+            for line in lines:
+                entry = line.strip()
+                if entry and not entry.startswith("#"):
+                    add(path.parent / entry)
+        else:
+            add(path)
+    return corpus
+
+
+def _compile_one(
+    path: Path,
+    mediator: str,
+    opt_level: int,
+    use_cache: bool,
+    cache_dir: str | None,
+) -> tuple[bytes | None, dict]:
+    """Phase 1 for one program: image bytes to ship, plus partial result."""
+    from ..compiler.serialize import serialize_image, source_fingerprint
+    from ..compiler.vm import compile_term
+    from ..surface.interp import compile_source
+
+    name = str(path)
+    started = time.perf_counter()
+    try:
+        source = path.read_text()
+    except OSError as exc:
+        return None, {"program": name, "kind": "error", "error": f"unreadable: {exc}"}
+    try:
+        if use_cache:
+            from ..compiler.cache import cache_lookup, cache_path, cached_compile
+
+            source_hash = source_fingerprint(source)
+            entry = cache_path(source_hash, opt_level, mediator, cache_dir)
+            image = cache_lookup(source_hash, opt_level, mediator, cache_dir)
+            if image is not None:
+                # The exact bytes to ship are already on disk — no need to
+                # re-encode the image the lookup just validated.  (The
+                # re-serialize fallback covers a concurrent eviction.)
+                try:
+                    data = entry.read_bytes()
+                except OSError:
+                    data = serialize_image(
+                        image.code,
+                        source_hash=image.info.source_hash,
+                        static_type=image.info.static_type,
+                    )
+                return data, {
+                    "program": name,
+                    "cache": "hit",
+                    "compile_s": time.perf_counter() - started,
+                }
+            term, ty = compile_source(source)
+            found = cached_compile(term, source_hash=source_hash, static_type=ty,
+                                   mediator=mediator, opt_level=opt_level,
+                                   cache_dir=cache_dir)
+            try:
+                data = found.path.read_bytes()
+            except OSError:  # the cache write failed (read-only/full disk)
+                data = serialize_image(found.image.code, source_hash=source_hash,
+                                       static_type=ty)
+            return data, {
+                "program": name,
+                "cache": found.status,
+                "compile_s": time.perf_counter() - started,
+            }
+        term, ty = compile_source(source)
+        code = compile_term(term, mediator=mediator, opt_level=opt_level)
+        data = serialize_image(code, source_hash=source_fingerprint(source),
+                               static_type=ty)
+        return data, {
+            "program": name,
+            "cache": "off",
+            "compile_s": time.perf_counter() - started,
+        }
+    except ReproError as exc:
+        return None, {"program": name, "kind": "error", "error": str(exc)}
+
+
+def _execute_job(job: tuple[str, bytes, int]) -> dict:
+    """Phase 2, in a worker: deserialize the image and run it on the VM."""
+    from ..compiler.serialize import deserialize_image
+    from ..compiler.vm import run_code
+
+    name, data, fuel = job
+    started = time.perf_counter()
+    try:
+        # Built by phase 1 in the coordinating process — same trust domain,
+        # so the crafted-image bounds validation is skipped.
+        image = deserialize_image(data, validate=False)
+    except ReproError as exc:  # pragma: no cover - ships what phase 1 built
+        return {"program": name, "kind": "error", "error": str(exc)}
+    loaded = time.perf_counter()
+    outcome = run_code(image.code, fuel)
+    finished = time.perf_counter()
+    stats = outcome.stats or {}
+    result = {
+        "program": name,
+        "kind": outcome.kind,
+        "steps": stats.get("steps", 0),
+        "max_pending_mediators": stats.get("max_pending_mediators", 0),
+        "load_s": loaded - started,
+        "run_s": finished - loaded,
+    }
+    if outcome.is_value:
+        result["value"] = outcome.python_value()
+        if image.info.static_type is not None:
+            result["type"] = str(image.info.static_type)
+    elif outcome.is_blame:
+        result["blame"] = str(outcome.label)
+    return result
+
+
+def run_batch(
+    paths: Sequence[str | Path],
+    workers: int = 1,
+    fuel: int | None = None,
+    mediator: str = "coercion",
+    opt_level: int = 2,
+    use_cache: bool = True,
+    cache_dir: str | None = None,
+    on_result: Callable[[dict], None] | None = None,
+) -> tuple[list[dict], dict]:
+    """Compile a corpus once and execute it across a worker pool.
+
+    Returns ``(results, aggregate)``: one dict per program (see
+    :func:`_execute_job` for the execution fields; front-end failures carry
+    ``kind="error"``) and the aggregated shard statistics.  ``on_result``
+    is invoked with each result as it completes — with ``workers > 1``
+    completion order is nondeterministic, so every result repeats its
+    program name.
+    """
+    wall_start = time.perf_counter()
+    corpus = discover_programs(paths)
+    fuel = fuel if fuel is not None else DEFAULT_VM_FUEL
+
+    results: list[dict] = []
+    jobs: list[tuple[str, bytes, int]] = []
+    compile_meta: dict[str, dict] = {}
+    for path in corpus:
+        data, meta = _compile_one(path, mediator, opt_level, use_cache, cache_dir)
+        if data is None:
+            results.append(meta)
+            if on_result is not None:
+                on_result(meta)
+        else:
+            compile_meta[meta["program"]] = meta
+            jobs.append((meta["program"], data, fuel))
+
+    def finish(result: dict) -> None:
+        result = {**compile_meta[result["program"]], **result}
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+
+    if workers <= 1 or len(jobs) <= 1:
+        for job in jobs:
+            finish(_execute_job(job))
+    else:
+        import multiprocessing
+
+        with multiprocessing.Pool(min(workers, len(jobs))) as pool:
+            for result in pool.imap_unordered(_execute_job, jobs):
+                finish(result)
+
+    aggregate = aggregate_results(results)
+    aggregate["workers"] = workers
+    aggregate["wall_s"] = time.perf_counter() - wall_start
+    return results, aggregate
+
+
+def aggregate_results(results: Iterable[dict]) -> dict:
+    """Shard statistics over per-program results (JSON-ready)."""
+    results = list(results)
+    kinds = {"value": 0, "blame": 0, "timeout": 0, "error": 0}
+    cache = {"hit": 0, "miss": 0, "recovered": 0, "off": 0}
+    aggregate = {
+        "programs": len(results),
+        "steps_total": 0,
+        "max_pending_mediators": 0,
+        "compile_s_total": 0.0,
+        "run_s_total": 0.0,
+    }
+    for result in results:
+        kind = result.get("kind", "error")
+        kinds[kind] = kinds.get(kind, 0) + 1
+        status = result.get("cache")
+        if status in cache:
+            cache[status] += 1
+        aggregate["steps_total"] += result.get("steps", 0)
+        aggregate["max_pending_mediators"] = max(
+            aggregate["max_pending_mediators"], result.get("max_pending_mediators", 0)
+        )
+        aggregate["compile_s_total"] += result.get("compile_s", 0.0)
+        aggregate["run_s_total"] += result.get("run_s", 0.0)
+    aggregate["outcomes"] = kinds
+    aggregate["cache"] = cache
+    return aggregate

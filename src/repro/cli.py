@@ -8,11 +8,19 @@ Installed as ``repro-gradual``.  Subcommands:
   substitution-based reference oracle; the pending-mediator
   representation with ``--mediator``: λS coercions composed with ``#`` by
   default, or threesomes composed with labeled-type ``∘``; and the VM's
-  optimization level with ``-O {0,1,2}``, default ``-O2``).
-* ``compile FILE``    — lower to λS bytecode and print the disassembly and
-  constant pool (``--mediator threesome`` pre-interns labeled types;
-  ``-O`` selects the optimizer level, so ``-O0`` vs ``-O2`` diffs show the
-  elisions, pre-compositions, and superinstruction fusions).
+  optimization level with ``-O {0,1,2}``, default ``-O2``).  ``FILE`` may
+  also be a serialized ``.gradb`` bytecode image, which runs directly on
+  the VM with no front end at all.  The vm engine compiles through the
+  on-disk compile cache (``~/.cache/repro-gradual``) unless ``--no-cache``.
+* ``compile FILE``    — lower to λS bytecode; print the disassembly and
+  constant pool, or with ``-o IMAGE.gradb`` serialize a versioned binary
+  image instead (``--mediator threesome`` pre-interns labeled types; ``-O``
+  selects the optimizer level).  Given an existing ``.gradb`` file, prints
+  its provenance and disassembly.
+* ``batch PATH...``   — compile a corpus (directories of ``*.grad``,
+  manifest files, or programs) once, through the compile cache, and run it
+  across a ``multiprocessing`` worker pool, streaming one JSON line per
+  program plus an aggregate line.
 * ``check FILE``      — static gradual type checking only.
 * ``translate FILE``  — print the elaborated λB term, or its λC / λS translation.
 * ``space N``         — reproduce the space-efficiency experiment for the
@@ -21,14 +29,18 @@ Installed as ``repro-gradual``.  Subcommands:
 Exit codes (uniform across subcommands): **0** — the program ran to a value
 (or the subcommand succeeded); **1** — evaluation allocated blame; **2** — a
 static error (file not found, parse error, ill-typed program, bad
-engine/calculus/mediator combination); **3** — evaluation timed out (fuel
-exhausted).  Errors are single-line diagnostics on stderr carrying source
-locations when the front end provides them.
+engine/calculus/mediator combination, unreadable image); **3** — evaluation
+timed out (fuel exhausted).  ``batch`` reports the most severe per-program
+outcome: static error (2), then timeout (3), then blame (1), then value (0).
+Errors are single-line diagnostics on stderr carrying source locations when
+the front end provides them.
 
 Example::
 
     repro-gradual run examples/programs/square.grad --calculus S --show-space
-    repro-gradual run examples/programs/tail_loop.grad --engine vm --mediator threesome
+    repro-gradual compile examples/programs/square.grad -O2 -o square.gradb
+    repro-gradual run square.gradb --show-space
+    repro-gradual batch examples/programs --workers 4
 """
 
 from __future__ import annotations
@@ -42,7 +54,7 @@ from .core.pretty import term_to_str
 from .gen.programs import even_odd_boundary
 from .machine import run_on_machine
 from .surface.cast_insertion import elaborate_program
-from .surface.interp import run_term
+from .surface.interp import run_source
 from .surface.parser import parse_program
 from .translate import b_to_c, b_to_s
 
@@ -60,21 +72,22 @@ def _load_program(path: str):
     return parse_program(source)
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    program = _load_program(args.file)
-    term, ty = elaborate_program(program)
-    engine = "subst" if args.small_step else args.engine
-    result = run_term(
-        term,
-        ty,
-        calculus=args.calculus,
-        engine=engine,
-        mediator=args.mediator,
-        fuel=args.fuel,
-        opt_level=args.opt_level,
-    )
+def _is_image(path: str) -> bool:
+    """Is ``path`` a serialized ``.gradb`` image (by suffix or magic)?"""
+    from .compiler import GRADB_MAGIC, GRADB_SUFFIX
+
+    if path.endswith(GRADB_SUFFIX):
+        return True
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(GRADB_MAGIC)) == GRADB_MAGIC
+    except OSError:
+        return False
+
+
+def _print_result(result, show_space: bool) -> int:
     print(result)
-    if args.show_space and result.space_stats is not None:
+    if show_space and result.space_stats is not None:
         stats = result.space_stats
         print(
             "space: pending-mediators max={max_pending_mediators} "
@@ -84,12 +97,114 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return _OUTCOME_EXIT_CODES[result.kind]
 
 
-def _cmd_compile(args: argparse.Namespace) -> int:
-    from .compiler import compile_term, disassemble
+def _run_image(args: argparse.Namespace) -> int:
+    """Run a serialized image directly: no parsing, no lowering, no cache.
 
-    program = _load_program(args.file)
-    term, _ = elaborate_program(program)
-    print(disassemble(compile_term(term, mediator=args.mediator, opt_level=args.opt_level)))
+    An image fixes its calculus (λS), engine (the VM), mediator backend,
+    and optimization level at compile time, so passing any of those flags
+    alongside an image is a contradiction — rejected rather than silently
+    ignored (a user comparing engines must not get VM results labeled as
+    the machine's).
+    """
+    from .compiler import load_image, run_code
+    from .core.errors import UsageError
+    from .core.fuel import DEFAULT_VM_FUEL
+    from .surface.interp import _from_machine_outcome
+
+    fixed = {
+        "--engine": args.engine not in (None, "vm"),
+        "--calculus": args.calculus is not None,
+        "--mediator": args.mediator is not None,
+        "-O/--opt-level": args.opt_level is not None,
+        "--small-step": args.small_step,
+    }
+    offending = [flag for flag, given in fixed.items() if given]
+    if offending:
+        raise UsageError(
+            f"{', '.join(offending)} cannot apply to a compiled .gradb image: "
+            "its engine (vm), calculus (S), mediator, and -O level were fixed "
+            "at compile time (see `repro-gradual compile IMAGE` for its provenance)"
+        )
+    image = load_image(args.file)
+    info = image.info
+    outcome = run_code(image.code, args.fuel if args.fuel is not None else DEFAULT_VM_FUEL)
+    result = _from_machine_outcome(outcome, info.static_type, "S", "vm", info.mediator)
+    return _print_result(result, args.show_space)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if _is_image(args.file):
+        return _run_image(args)
+    source = Path(args.file).read_text()
+    engine = "subst" if args.small_step else (args.engine or "machine")
+    result = run_source(
+        source,
+        calculus=args.calculus or "S",
+        engine=engine,
+        mediator=args.mediator or "coercion",
+        fuel=args.fuel,
+        opt_level=args.opt_level if args.opt_level is not None else 2,
+        cache=not args.no_cache,
+    )
+    return _print_result(result, args.show_space)
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from .compiler import (
+        compile_term,
+        disassemble,
+        disassemble_image,
+        load_image,
+        save_image,
+        source_fingerprint,
+    )
+
+    if _is_image(args.file):
+        from .core.errors import UsageError
+
+        if args.output is not None:
+            raise UsageError(
+                "-o expects a source program to compile; "
+                f"{args.file} is already a compiled image"
+            )
+        print(disassemble_image(load_image(args.file)))
+        return EXIT_VALUE
+    source = Path(args.file).read_text()
+    term, ty = elaborate_program(parse_program(source))
+    code = compile_term(term, mediator=args.mediator, opt_level=args.opt_level)
+    if args.output is not None:
+        save_image(code, args.output, source_hash=source_fingerprint(source), static_type=ty)
+        print(f"wrote {args.output}")
+    else:
+        print(disassemble(code))
+    return EXIT_VALUE
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from .batch import run_batch
+
+    def emit(result: dict) -> None:
+        print(json.dumps(result, sort_keys=True), flush=True)
+
+    results, aggregate = run_batch(
+        args.paths,
+        workers=args.workers,
+        fuel=args.fuel,
+        mediator=args.mediator,
+        opt_level=args.opt_level,
+        use_cache=not args.no_cache,
+        on_result=emit,
+    )
+    print(json.dumps({"aggregate": aggregate}, sort_keys=True), flush=True)
+    outcomes = aggregate["outcomes"]
+    if outcomes["error"]:
+        return EXIT_STATIC_ERROR
+    if outcomes["timeout"]:
+        return EXIT_TIMEOUT
+    if outcomes["blame"]:
+        return EXIT_BLAME
     return EXIT_VALUE
 
 
@@ -139,26 +254,33 @@ def build_parser() -> argparse.ArgumentParser:
         epilog="exit codes: 0 value, 1 blame, 2 static/parse error, 3 timeout",
     )
     run_parser.add_argument("file")
-    run_parser.add_argument("--calculus", choices=["B", "C", "S", "b", "c", "s"], default="S")
-    run_parser.add_argument("--engine", choices=["vm", "machine", "subst"], default="machine",
+    # Defaults are resolved in _cmd_run (None = not passed), so running a
+    # compiled image can reject flags the image has already fixed.
+    run_parser.add_argument("--calculus", choices=["B", "C", "S", "b", "c", "s"], default=None,
+                            help="calculus to evaluate (default S)")
+    run_parser.add_argument("--engine", choices=["vm", "machine", "subst"], default=None,
                             help="execution engine: the CEK machine (default), the λS "
                                  "bytecode VM, or the substitution-based reference oracle")
-    run_parser.add_argument("--mediator", choices=["coercion", "threesome"], default="coercion",
+    run_parser.add_argument("--mediator", choices=["coercion", "threesome"], default=None,
                             help="pending-mediator representation of the λS machine/VM: "
                                  "canonical coercions merged with # (default) or threesomes "
                                  "(labeled types) merged with labeled-type composition")
     run_parser.add_argument("--small-step", action="store_true",
                             help="alias for --engine subst (the paper-faithful small-step reducer)")
-    run_parser.add_argument("-O", "--opt-level", type=int, choices=[0, 1, 2], default=2,
+    run_parser.add_argument("-O", "--opt-level", type=int, choices=[0, 1, 2], default=None,
                             help="bytecode optimizer level for the vm engine: 0 none, "
                                  "1 static coercion elision + pre-composition, "
                                  "2 (default) superinstructions + inline mediator caches")
     run_parser.add_argument("--show-space", action="store_true", help="print space statistics")
     run_parser.add_argument("--fuel", type=int, default=None)
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="bypass the on-disk compile cache (vm engine; other "
+                                 "engines never cache)")
     run_parser.set_defaults(handler=_cmd_run)
 
     compile_parser = sub.add_parser(
-        "compile", help="lower a program to λS bytecode and print the disassembly"
+        "compile", help="lower a program to λS bytecode: print the disassembly "
+                        "or write a serialized .gradb image"
     )
     compile_parser.add_argument("file")
     compile_parser.add_argument("--mediator", choices=["coercion", "threesome"], default="coercion",
@@ -167,7 +289,27 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument("-O", "--opt-level", type=int, choices=[0, 1, 2], default=2,
                                 help="optimizer level to disassemble at (default 2; "
                                      "compare against -O0 to see the rewrites)")
+    compile_parser.add_argument("-o", "--output", default=None, metavar="IMAGE",
+                                help="serialize a versioned binary .gradb image here "
+                                     "instead of printing the disassembly")
     compile_parser.set_defaults(handler=_cmd_compile)
+
+    batch_parser = sub.add_parser(
+        "batch", help="compile a corpus once and run it across a worker pool",
+        epilog="per-program results stream as JSON lines, then one aggregate line; "
+               "exit code is the most severe outcome (2 error, 3 timeout, 1 blame, 0 value)",
+    )
+    batch_parser.add_argument("paths", nargs="+", metavar="PATH",
+                              help="directories of *.grad programs, manifest files "
+                                   "(one path per line), or program files")
+    batch_parser.add_argument("--workers", type=int, default=1,
+                              help="multiprocessing pool size (default 1: run inline)")
+    batch_parser.add_argument("--mediator", choices=["coercion", "threesome"], default="coercion")
+    batch_parser.add_argument("-O", "--opt-level", type=int, choices=[0, 1, 2], default=2)
+    batch_parser.add_argument("--fuel", type=int, default=None)
+    batch_parser.add_argument("--no-cache", action="store_true",
+                              help="bypass the on-disk compile cache")
+    batch_parser.set_defaults(handler=_cmd_batch)
 
     check_parser = sub.add_parser("check", help="gradually type check a program")
     check_parser.add_argument("file")

@@ -20,10 +20,30 @@ the machine and the substitution reducers and compares observables.
 
 from __future__ import annotations
 
-from .bytecode import SUPERINSTRUCTIONS, CodeObject, ConstantPool, all_code_objects
-from .disasm import disassemble, instruction_streams, parse_disassembly
+from .bytecode import (
+    SUPERINSTRUCTIONS,
+    CodeObject,
+    ConstantPool,
+    all_code_objects,
+    opcode_fingerprint,
+)
+from .cache import CacheOutcome, cache_path, cached_compile, default_cache_dir
+from .disasm import disassemble, disassemble_image, instruction_streams, parse_disassembly
 from .lower import lower_program
 from .opt import DEFAULT_OPT_LEVEL, OPT_LEVELS, hot_pairs, optimize
+from .serialize import (
+    FORMAT_VERSION,
+    GRADB_MAGIC,
+    GRADB_SUFFIX,
+    ImageError,
+    ImageInfo,
+    LoadedImage,
+    deserialize_image,
+    load_image,
+    save_image,
+    serialize_image,
+    source_fingerprint,
+)
 from .vm import (
     DEFAULT_VM_FUEL,
     THE_VM,
@@ -39,9 +59,26 @@ __all__ = [
     "ConstantPool",
     "SUPERINSTRUCTIONS",
     "all_code_objects",
+    "opcode_fingerprint",
+    "CacheOutcome",
+    "cache_path",
+    "cached_compile",
+    "default_cache_dir",
     "disassemble",
+    "disassemble_image",
     "instruction_streams",
     "parse_disassembly",
+    "FORMAT_VERSION",
+    "GRADB_MAGIC",
+    "GRADB_SUFFIX",
+    "ImageError",
+    "ImageInfo",
+    "LoadedImage",
+    "deserialize_image",
+    "load_image",
+    "save_image",
+    "serialize_image",
+    "source_fingerprint",
     "lower_program",
     "DEFAULT_OPT_LEVEL",
     "OPT_LEVELS",

@@ -70,7 +70,9 @@ superinstruction         operands            fuses
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from ..core.labels import Label
 from ..core.ops import OpSpec, op_spec
@@ -177,6 +179,27 @@ SUPERINSTRUCTIONS = {
 FUSED_SHIFT = 16
 FUSED_LIMIT = 1 << FUSED_SHIFT
 FUSED_MASK = FUSED_LIMIT - 1
+
+
+@lru_cache(maxsize=1)
+def opcode_fingerprint() -> bytes:
+    """An 8-byte digest of the instruction set (names, numbers, fusion table).
+
+    Serialized images (:mod:`repro.compiler.serialize`) embed this
+    fingerprint, so an image compiled against a different opcode assignment
+    — say, after a superinstruction is added or renumbered — is rejected at
+    load time instead of being dispatched wrongly.  Changing anything in
+    :data:`OPCODE_NAMES` or :data:`SUPERINSTRUCTIONS` changes the
+    fingerprint by construction; no version constant needs manual bumping.
+    """
+    digest = hashlib.sha256()
+    for code in sorted(OPCODE_NAMES):
+        digest.update(f"{code}={OPCODE_NAMES[code]};".encode())
+    for fused in sorted(SUPERINSTRUCTIONS):
+        op1, op2 = SUPERINSTRUCTIONS[fused]
+        digest.update(f"{fused}<-{op1}+{op2};".encode())
+    digest.update(f"shift={FUSED_SHIFT}".encode())
+    return digest.digest()[:8]
 
 
 def pack_operands(op1: int, a: int, op2: int, b: int) -> int:

@@ -1,0 +1,168 @@
+"""Content-addressed on-disk compile cache for ``.gradb`` images.
+
+Compilation is pure: the image produced for a program depends only on the
+program text (equivalently, its elaborated term), the optimizer level, the
+mediator backend, and the toolchain's format/instruction-set version.  So a
+compiled image is cached under a key that is exactly that tuple, hashed::
+
+    ~/.cache/repro-gradual/<k[:2]>/<k>.gradb
+    k = sha256(format version ‖ opcode fingerprint ‖ source hash ‖
+               opt level ‖ mediator)
+
+and a warm ``run`` deserializes the image instead of re-running the whole
+parse → type check → elaborate → translate → lower → optimize pipeline.
+There is no invalidation protocol: keys are content-addressed, so a changed
+program, a different ``-O`` level or mediator, or a new format/opcode-set
+version simply misses and compiles fresh.  Entries are written atomically
+(:func:`~repro.compiler.serialize.save_image` writes a temp sibling and
+``os.replace``\\ s it), and a corrupt or truncated entry — detected by the
+image checksum on load — is deleted and recompiled rather than surfaced.
+
+The cache directory resolves, in order: an explicit ``cache_dir`` argument,
+``$REPRO_GRADUAL_CACHE_DIR``, ``$XDG_CACHE_HOME/repro-gradual``, and
+``~/.cache/repro-gradual``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.terms import Term
+from ..core.types import Type
+from .bytecode import opcode_fingerprint
+from .serialize import (
+    FORMAT_VERSION,
+    GRADB_SUFFIX,
+    ImageError,
+    LoadedImage,
+    load_image,
+    save_image,
+    source_fingerprint,
+)
+
+#: Environment variable overriding the cache location (highest precedence
+#: after an explicit ``cache_dir`` argument).
+CACHE_DIR_ENV = "REPRO_GRADUAL_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The resolved on-disk cache directory (not created until first write)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-gradual"
+
+
+def cache_key(source_hash: str, opt_level: int, mediator: str) -> str:
+    """The content address of one compilation: hex SHA-256 over every input
+    that can change the produced image."""
+    digest = hashlib.sha256()
+    digest.update(f"gradb-v{FORMAT_VERSION}\x00".encode())
+    digest.update(opcode_fingerprint())
+    digest.update(f"\x00{source_hash}\x00{opt_level}\x00{mediator}".encode())
+    return digest.hexdigest()
+
+
+def cache_path(
+    source_hash: str, opt_level: int, mediator: str, cache_dir: str | os.PathLike | None = None
+) -> Path:
+    """Where the image for this compilation lives (two-level fan-out, so a
+    large cache does not pile every entry into one directory)."""
+    root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    key = cache_key(source_hash, opt_level, mediator)
+    return root / key[:2] / (key + GRADB_SUFFIX)
+
+
+@dataclass
+class CacheOutcome:
+    """One cache consultation: the loaded/compiled image and how it was found.
+
+    ``status`` is ``"hit"`` (deserialized from disk), ``"miss"`` (compiled
+    and stored), or ``"recovered"`` (a corrupt entry was deleted, then
+    compiled and stored fresh).
+    """
+
+    image: LoadedImage
+    status: str
+    path: Path
+
+
+def _try_load(path: Path) -> LoadedImage | None:
+    """Load a cache entry, deleting it if it is corrupt or unreadable.
+
+    Entries were written by this library into the user's own cache, so the
+    crafted-image bounds validation is skipped (the checksum still catches
+    corruption — the failure mode a cache actually has).
+    """
+    if not path.exists():
+        return None
+    try:
+        return load_image(path, validate=False)
+    except ImageError:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def cache_lookup(
+    source_hash: str,
+    opt_level: int,
+    mediator: str,
+    cache_dir: str | os.PathLike | None = None,
+) -> LoadedImage | None:
+    """The cached image for this compilation, or ``None`` on a miss.
+
+    A corrupt entry counts as a miss (and is deleted); this is the warm
+    path of ``run_source``, which skips parsing, elaboration, lowering,
+    and optimization entirely when it returns an image.
+    """
+    return _try_load(cache_path(source_hash, opt_level, mediator, cache_dir))
+
+
+def cached_compile(
+    term: Term,
+    source_hash: str | None = None,
+    static_type: Type | None = None,
+    mediator: str = "coercion",
+    opt_level: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+) -> CacheOutcome:
+    """Compile a λB term through the cache.
+
+    ``source_hash`` identifies the program; when the caller has no source
+    text (the term-level API), the pretty-printed elaborated term stands in
+    — it is deterministic and captures exactly what is compiled.  On a hit
+    the stored image is deserialized (re-interned, ready to run); on a miss
+    — or after deleting a corrupt entry — the term is compiled, stored
+    atomically, and returned without a second round trip through disk.
+    """
+    from ..core.pretty import term_to_str
+    from .opt import DEFAULT_OPT_LEVEL
+    from .vm import compile_term
+
+    if opt_level is None:
+        opt_level = DEFAULT_OPT_LEVEL
+    if source_hash is None:
+        source_hash = source_fingerprint(term_to_str(term))
+    path = cache_path(source_hash, opt_level, mediator, cache_dir)
+    existed = path.exists()
+    image = _try_load(path)
+    if image is not None:
+        return CacheOutcome(image, "hit", path)
+
+    code = compile_term(term, mediator=mediator, opt_level=opt_level)
+    try:
+        save_image(code, path, source_hash=source_hash, static_type=static_type)
+    except OSError:
+        pass  # a read-only or full cache degrades to compile-always
+    from .serialize import ImageInfo
+
+    info = ImageInfo(FORMAT_VERSION, source_hash, opt_level, mediator, static_type)
+    return CacheOutcome(LoadedImage(code, info), "recovered" if existed else "miss", path)

@@ -127,6 +127,25 @@ def disassemble(code: CodeObject) -> str:
     return "\n".join(lines)
 
 
+def disassemble_image(image) -> str:
+    """Disassemble a loaded ``.gradb`` image with its provenance header.
+
+    The provenance lines are comments (``;`` prefixed), so the output still
+    satisfies the :func:`parse_disassembly` round trip — an image
+    disassembly minus its header is byte-identical to the disassembly of
+    the same program compiled in memory (asserted by the test suite).
+    """
+    info = image.info
+    lines = [
+        f"; gradb image v{info.format_version}",
+        f"; mediator={info.mediator} opt-level={info.opt_level}",
+        f"; source-hash={info.source_hash or '-'}",
+        f"; type={info.static_type if info.static_type is not None else '-'}",
+        "",
+    ]
+    return "\n".join(lines) + disassemble(image.code)
+
+
 def instruction_streams(code: CodeObject) -> list[list[tuple[int, int]]]:
     """The program's raw ``(opcode, operand)`` lists, entry code first."""
     return [list(obj.instructions) for obj in all_code_objects(code)]

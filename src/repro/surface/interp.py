@@ -121,6 +121,22 @@ def _resolve_engine(engine: str | None, use_machine: bool | None) -> str:
     return resolved
 
 
+def _validate_vm_knobs(calculus: str, mediator: str, opt_level: int) -> None:
+    """The vm engine's shared argument validation (run_term and the warm
+    cache path of run_source raise identical errors by construction)."""
+    if mediator not in MEDIATORS:
+        raise UsageError(f"unknown mediator {mediator!r}; expected one of {MEDIATORS}")
+    if opt_level not in OPT_LEVELS:
+        raise UsageError(
+            f"unknown optimization level {opt_level!r}; expected one of {OPT_LEVELS}"
+        )
+    if calculus != "S":
+        raise UsageError(
+            f"engine 'vm' implements λS only (requested calculus {calculus!r}); "
+            "use engine='machine' for λB or λC"
+        )
+
+
 def run_source(
     source: str,
     calculus: str = "S",
@@ -129,8 +145,34 @@ def run_source(
     engine: str = "machine",
     mediator: str = "coercion",
     opt_level: int = DEFAULT_OPT_LEVEL,
+    cache: bool = False,
+    cache_dir: str | None = None,
 ) -> RunResult:
-    """Run a surface program and report its outcome."""
+    """Run a surface program and report its outcome.
+
+    With ``cache=True`` (vm engine only) the compiled bytecode image is
+    looked up in — and stored to — the on-disk compile cache
+    (:mod:`repro.compiler.cache`), keyed on the *source text*: a warm run
+    deserializes the ``.gradb`` image and skips parsing, type checking,
+    elaboration, lowering, and optimization entirely.  The program's static
+    type rides along in the image's provenance, so even the reported
+    ``value : type`` needs no front end.
+    """
+    if cache and _resolve_engine(engine, use_machine) == "vm":
+        from ..compiler.cache import cache_lookup
+        from ..compiler.serialize import source_fingerprint
+        from ..compiler.vm import run_code
+
+        _validate_vm_knobs(calculus.upper(), mediator, opt_level)
+        source_hash = source_fingerprint(source)
+        image = cache_lookup(source_hash, opt_level, mediator, cache_dir)
+        if image is not None:
+            outcome = run_code(image.code, fuel if fuel is not None else DEFAULT_FUEL["vm"])
+            return _from_machine_outcome(outcome, image.info.static_type, "S", "vm", mediator)
+        term, ty = compile_source(source)
+        return run_term(term, ty, calculus=calculus, fuel=fuel, engine="vm",
+                        mediator=mediator, opt_level=opt_level,
+                        cache=True, cache_dir=cache_dir, source_hash=source_hash)
     term, ty = compile_source(source)
     return run_term(term, ty, calculus=calculus, use_machine=use_machine,
                     fuel=fuel, engine=engine, mediator=mediator, opt_level=opt_level)
@@ -145,12 +187,18 @@ def run_term(
     engine: str = "machine",
     mediator: str = "coercion",
     opt_level: int = DEFAULT_OPT_LEVEL,
+    cache: bool = False,
+    cache_dir: str | None = None,
+    source_hash: str | None = None,
 ) -> RunResult:
     """Run an elaborated λB term on the chosen calculus, engine, and mediator.
 
     ``opt_level`` is the bytecode optimizer's ``-O`` level (0/1/2, default
     2); it shapes what the **vm** engine executes and is ignored by the tree
-    interpreters, which have no compilation stage.
+    interpreters, which have no compilation stage.  ``cache=True`` routes
+    the vm engine's compilation through the on-disk compile cache (keyed on
+    ``source_hash`` when given, otherwise on the pretty-printed term); the
+    tree interpreters ignore it for the same reason they ignore ``opt_level``.
     """
     calculus = calculus.upper()
     engine = _resolve_engine(engine, use_machine)
@@ -164,12 +212,19 @@ def run_term(
         fuel = DEFAULT_FUEL[engine]
 
     if engine == "vm":
-        if calculus != "S":
-            raise UsageError(
-                f"engine 'vm' implements λS only (requested calculus {calculus!r}); "
-                "use engine='machine' for λB or λC"
-            )
-        outcome = run_on_vm(term, fuel, mediator=mediator, opt_level=opt_level)
+        _validate_vm_knobs(calculus, mediator, opt_level)
+        if cache:
+            from ..compiler.cache import cached_compile
+            from ..compiler.vm import run_code
+
+            found = cached_compile(term, source_hash=source_hash, static_type=ty,
+                                   mediator=mediator, opt_level=opt_level,
+                                   cache_dir=cache_dir)
+            if ty is None:
+                ty = found.image.info.static_type
+            outcome = run_code(found.image.code, fuel)
+        else:
+            outcome = run_on_vm(term, fuel, mediator=mediator, opt_level=opt_level)
         return _from_machine_outcome(outcome, ty, calculus, engine, mediator)
 
     if engine == "machine":

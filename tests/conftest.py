@@ -7,6 +7,16 @@ import random
 import pytest
 from hypothesis import HealthCheck, settings
 
+
+@pytest.fixture(autouse=True)
+def _isolated_compile_cache(tmp_path, monkeypatch):
+    """Point the on-disk compile cache at a per-test directory.
+
+    The CLI's ``run`` compiles through the cache by default, so without
+    this the test suite would read and write ``~/.cache/repro-gradual``.
+    """
+    monkeypatch.setenv("REPRO_GRADUAL_CACHE_DIR", str(tmp_path / "compile-cache"))
+
 # A single moderate profile: the generators build whole programs, so a few
 # hundred examples per property is plenty and keeps the suite fast.
 settings.register_profile(

@@ -174,7 +174,7 @@ class TestMediatorFlag:
         assert main(["run", str(EXAMPLES / "tail_loop.grad"),
                      "--mediator", "threesome", "--show-space"]) == 0
         out = capsys.readouterr().out
-        line = [l for l in out.splitlines() if "pending-mediators" in l][0]
+        line = [ln for ln in out.splitlines() if "pending-mediators" in ln][0]
         assert "max=1" in line or "max=2" in line or "max=3" in line
 
     def test_threesome_backend_rejects_non_s_calculus(self, square_program, capsys):
@@ -244,6 +244,84 @@ class TestOtherCommands:
             build_parser().parse_args([])
 
 
+class TestImageWorkflow:
+    """``compile -o IMAGE`` → ``run IMAGE`` → ``compile IMAGE``, plus the
+    compile-cache flags — the CLI surface of the ``.gradb`` format."""
+
+    def test_compile_to_image_then_run(self, square_program, tmp_path, capsys):
+        image = str(tmp_path / "square.gradb")
+        assert main(["compile", square_program, "-o", image]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert main(["run", image]) == 0
+        assert "36 : int" in capsys.readouterr().out
+
+    def test_run_image_reports_blame_and_space(self, blame_program, tmp_path, capsys):
+        image = str(tmp_path / "blame.gradb")
+        assert main(["compile", blame_program, "-o", image]) == 0
+        capsys.readouterr()
+        assert main(["run", image, "--show-space"]) == 1
+        out = capsys.readouterr().out
+        assert "blame" in out and "pending-mediators" in out
+
+    def test_run_image_timeout_exits_three(self, diverging_program, tmp_path, capsys):
+        image = str(tmp_path / "loop.gradb")
+        assert main(["compile", diverging_program, "-o", image]) == 0
+        assert main(["run", image, "--fuel", "5000"]) == 3
+
+    def test_compile_shows_image_provenance(self, square_program, tmp_path, capsys):
+        image = str(tmp_path / "square.gradb")
+        assert main(["compile", square_program, "-o", image, "--mediator", "threesome",
+                     "-O", "1"]) == 0
+        capsys.readouterr()
+        assert main(["compile", image]) == 0
+        out = capsys.readouterr().out
+        assert "mediator=threesome opt-level=1" in out
+        assert "code 0 <main>" in out
+
+    def test_image_rejects_flags_fixed_at_compile_time(self, square_program, tmp_path,
+                                                       capsys):
+        # Regression: --engine/--calculus/--mediator/-O/--small-step used
+        # to be silently ignored when FILE was an image.
+        image = str(tmp_path / "square.gradb")
+        assert main(["compile", square_program, "-o", image]) == 0
+        capsys.readouterr()
+        for flags in (["--engine", "machine"], ["--engine", "subst"],
+                      ["--calculus", "B"], ["--mediator", "threesome"],
+                      ["-O", "0"], ["--small-step"]):
+            assert main(["run", image, *flags]) == 2, flags
+            assert "compile time" in capsys.readouterr().err
+        # --engine vm, --fuel, --show-space, --no-cache remain compatible.
+        assert main(["run", image, "--engine", "vm", "--fuel", "9999",
+                     "--no-cache", "--show-space"]) == 0
+
+    def test_compile_image_with_output_is_rejected(self, square_program, tmp_path,
+                                                   capsys):
+        image = str(tmp_path / "square.gradb")
+        assert main(["compile", square_program, "-o", image]) == 0
+        capsys.readouterr()
+        assert main(["compile", image, "-o", str(tmp_path / "copy.gradb")]) == 2
+        assert "already a compiled image" in capsys.readouterr().err
+
+    def test_corrupt_image_is_a_static_error(self, tmp_path, capsys):
+        image = tmp_path / "broken.gradb"
+        image.write_bytes(b"GRADB\x00 definitely not a payload")
+        assert main(["run", str(image)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_no_cache_flag_still_runs(self, square_program, capsys):
+        assert main(["run", square_program, "--engine", "vm", "--no-cache"]) == 0
+        assert "36" in capsys.readouterr().out
+
+    def test_cached_and_uncached_runs_agree(self, square_program, capsys):
+        assert main(["run", square_program, "--engine", "vm"]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", square_program, "--engine", "vm"]) == 0  # warm
+        second = capsys.readouterr().out
+        assert main(["run", square_program, "--engine", "vm", "--no-cache"]) == 0
+        third = capsys.readouterr().out
+        assert first == second == third
+
+
 class TestShippedExamplePrograms:
     def test_square_example(self, capsys):
         assert main(["run", str(EXAMPLES / "square.grad")]) == 0
@@ -256,5 +334,5 @@ class TestShippedExamplePrograms:
     def test_tail_loop_example_is_space_bounded_on_s(self, capsys):
         assert main(["run", str(EXAMPLES / "tail_loop.grad"), "--calculus", "S", "--show-space"]) == 0
         out = capsys.readouterr().out
-        line = [l for l in out.splitlines() if "pending-mediators" in l][0]
+        line = [ln for ln in out.splitlines() if "pending-mediators" in ln][0]
         assert "max=2" in line or "max=1" in line or "max=3" in line

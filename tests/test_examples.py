@@ -58,4 +58,32 @@ def test_blame_tracking_reports_both_polarities(capsys):
 
 def test_example_programs_directory_is_complete():
     programs = {path.name for path in (EXAMPLES_DIR / "programs").glob("*.grad")}
-    assert {"square.grad", "boundary_blame.grad", "tail_loop.grad"} <= programs
+    assert {
+        "square.grad", "boundary_blame.grad", "tail_loop.grad",
+        # The compile-bound batch-corpus programs (the compile cache's win).
+        "stats_pipeline.grad", "vector_mesh.grad", "text_metrics.grad",
+    } <= programs
+
+
+def test_corpus_programs_agree_across_engines_and_images():
+    """Every shipped program: VM (-O0/-O2, both mediators) agrees with the
+    machine, and a serialized image reproduces the run exactly."""
+    from repro.compiler import compile_term, deserialize_image, run_code, serialize_image
+    from repro.machine import run_on_machine
+    from repro.surface.interp import compile_source
+
+    for path in sorted((EXAMPLES_DIR / "programs").glob("*.grad")):
+        term, ty = compile_source(path.read_text())
+        oracle = run_on_machine(term, "S")
+        for mediator in ("coercion", "threesome"):
+            for opt_level in (0, 2):
+                code = compile_term(term, mediator=mediator, opt_level=opt_level)
+                outcome = run_code(code)
+                assert outcome.kind == oracle.kind, (path.name, mediator, opt_level)
+                if oracle.is_value:
+                    assert outcome.python_value() == oracle.python_value()
+                elif oracle.is_blame:
+                    assert outcome.label == oracle.label
+                reloaded = run_code(deserialize_image(serialize_image(code)).code)
+                assert reloaded.kind == outcome.kind
+                assert reloaded.stats == outcome.stats
