@@ -11,8 +11,9 @@ generated workload and each calculus it times
 * the substitution interpreter (the literal rules of Figures 1, 3 and 5),
   and
 * for λS, the bytecode VM (``repro.compiler``: flat instructions,
-  pre-interned coercion pool, pending-coercion slot) — the three-way
-  comparison, with both the machine-over-subst and vm-over-machine speedups
+  pre-interned coercion pool, pending-coercion slot) and the register VM
+  (``repro.compiler.rvm``: packed word streams, frame-local register file)
+  — with the machine-over-subst, vm-over-machine, and rvm-over-vm speedups
   recorded,
 
 on the *same* pre-translated term.  The boundary workloads (``even_odd``,
@@ -42,7 +43,7 @@ from repro.gen.programs import (
     twice_boundary,
     typed_loop_untyped_step,
 )
-from repro.compiler import compile_term, run_code
+from repro.compiler import compile_registers, compile_term, run_code, run_rcode
 from repro.machine import MACHINES, run_on_machine
 from repro.properties.calculi import CALCULI
 from repro.translate import b_to_c, b_to_s
@@ -108,10 +109,19 @@ def build_suite(repeat: int) -> harness.Suite:
                     check=lambda outcome: outcome.is_value,
                     engine="vm", calculus="S", workload=name,
                 )
+                rcode = compile_registers(code)
+                r = suite.measure(
+                    f"rvm/S/{name}",
+                    lambda rcode=rcode: run_rcode(rcode),
+                    check=lambda outcome: outcome.is_value,
+                    engine="rvm", calculus="S", workload=name,
+                )
                 suite.record(
                     f"speedup_vm/S/{name}",
                     vm_vs_machine=round(m.best_s / v.best_s, 2),
                     vm_vs_subst=round(o.best_s / v.best_s, 2),
+                    rvm_vs_machine=round(m.best_s / r.best_s, 2),
+                    rvm_vs_vm=round(v.best_s / r.best_s, 2),
                     composition_heavy=heavy,
                     workload=name,
                 )

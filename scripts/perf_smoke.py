@@ -1,15 +1,17 @@
-"""Perf-regression smoke: the optimizer's win must not quietly erode.
+"""Perf-regression smoke: the optimizer's and the register VM's wins must
+not quietly erode.
 
 Re-measures the **two fastest** ``bench_vm`` workloads (fastest by the
 committed artifact's ``-O2`` times, so the smoke costs seconds) and
-compares the geomean of their ``-O2``-over-``-O0`` speedups against the
-geomean recorded in the committed ``BENCH_vm.json``.  The comparison is on
-*speedup ratios*, not wall-clock seconds: CI machines are arbitrarily
-slower or faster than the machine that recorded the baseline, but the ratio
-between two runs of the same VM on the same box is stable.  If the current
-ratio slips more than ``SLIP_TOLERANCE`` (25%) below the committed one —
-someone pessimised the optimizer or the VM's fast paths — exit non-zero and
-fail the build.
+compares two speedup geomeans against the ones recorded in the committed
+``BENCH_vm.json``: ``-O2`` over ``-O0`` (the optimizer's win) and the
+register VM over the ``-O2`` stack VM (the register IR's win).  The
+comparison is on *speedup ratios*, not wall-clock seconds: CI machines are
+arbitrarily slower or faster than the machine that recorded the baseline,
+but the ratio between two runs of the same VMs on the same box is stable.
+If either current ratio slips more than ``SLIP_TOLERANCE`` (25%) below the
+committed one — someone pessimised the optimizer, the VM's fast paths, or
+the register dispatch core — exit non-zero and fail the build.
 
 Usage::
 
@@ -29,18 +31,18 @@ sys.path.insert(0, str(REPO / "benchmarks"))
 
 from bench_vm import VM_WORKLOADS, geomean  # noqa: E402
 
-from repro.compiler import compile_term, run_code  # noqa: E402
+from repro.compiler import compile_registers, compile_term, run_code, run_rcode  # noqa: E402
 
 SLIP_TOLERANCE = 0.25
 REPEAT = 5
 
 
-def _best(code, repeat: int = REPEAT) -> float:
-    run_code(code)  # warmup
+def _best(code, runner=run_code, repeat: int = REPEAT) -> float:
+    runner(code)  # warmup
     timings = []
     for _ in range(repeat):
         start = time.perf_counter()
-        run_code(code)
+        runner(code)
         timings.append(time.perf_counter() - start)
     return min(timings)
 
@@ -62,28 +64,46 @@ def main() -> int:
         return 1
     fastest = sorted(o2_times, key=o2_times.get)[:2]
 
-    committed = geomean(
+    committed_opt = geomean(
         [by_name[f"speedup/{name}"]["o2_vs_o0"] for name in fastest]
     )
+    committed_rvm = geomean(
+        [by_name[f"speedup/{name}"]["rvm_vs_o2"] for name in fastest]
+    )
 
-    current_ratios = []
+    opt_ratios = []
+    rvm_ratios = []
     for name in fastest:
         term_b, check, _ = VM_WORKLOADS[name]
         code_o0 = compile_term(term_b, opt_level=0)
         code_o2 = compile_term(term_b, opt_level=2)
+        rcode_o2 = compile_registers(code_o2)
         outcome = run_code(code_o2)
         assert outcome.is_value and check(outcome.python_value()), name
-        ratio = _best(code_o0) / _best(code_o2)
-        current_ratios.append(ratio)
-        print(f"perf-smoke: {name}: -O2 over -O0 now {ratio:.2f}x "
-              f"(committed {by_name[f'speedup/{name}']['o2_vs_o0']:.2f}x)")
+        outcome = run_rcode(rcode_o2)
+        assert outcome.is_value and check(outcome.python_value()), f"{name} (rvm)"
+        best_o2 = _best(code_o2)
+        opt_ratio = _best(code_o0) / best_o2
+        rvm_ratio = best_o2 / _best(rcode_o2, runner=run_rcode)
+        opt_ratios.append(opt_ratio)
+        rvm_ratios.append(rvm_ratio)
+        print(f"perf-smoke: {name}: -O2 over -O0 now {opt_ratio:.2f}x "
+              f"(committed {by_name[f'speedup/{name}']['o2_vs_o0']:.2f}x), "
+              f"rvm over -O2 now {rvm_ratio:.2f}x "
+              f"(committed {by_name[f'speedup/{name}']['rvm_vs_o2']:.2f}x)")
 
-    current = geomean(current_ratios)
-    floor = committed * (1 - SLIP_TOLERANCE)
-    verdict = "ok" if current >= floor else "REGRESSION"
-    print(f"perf-smoke: geomean {current:.2f}x vs committed {committed:.2f}x "
-          f"(floor {floor:.2f}x): {verdict}")
-    return 0 if current >= floor else 1
+    status = 0
+    for label, current, committed in (
+        ("-O2 over -O0", geomean(opt_ratios), committed_opt),
+        ("rvm over -O2", geomean(rvm_ratios), committed_rvm),
+    ):
+        floor = committed * (1 - SLIP_TOLERANCE)
+        verdict = "ok" if current >= floor else "REGRESSION"
+        print(f"perf-smoke: {label} geomean {current:.2f}x vs committed "
+              f"{committed:.2f}x (floor {floor:.2f}x): {verdict}")
+        if current < floor:
+            status = 1
+    return status
 
 
 if __name__ == "__main__":

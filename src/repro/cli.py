@@ -4,19 +4,25 @@ Installed as ``repro-gradual``.  Subcommands:
 
 * ``run FILE``        — parse, type check, insert casts, evaluate (choose the
   calculus with ``--calculus``, the engine with ``--engine``: the CEK
-  machine by default, the bytecode VM with ``--engine vm``, or the
-  substitution-based reference oracle; the pending-mediator
+  machine by default, the stack bytecode VM with ``--engine vm``, the
+  register VM with ``--engine rvm`` (packed-stream dispatch; fastest), or
+  the substitution-based reference oracle; the pending-mediator
   representation with ``--mediator``: λS coercions composed with ``#`` by
-  default, or threesomes composed with labeled-type ``∘``; and the VM's
+  default, or threesomes composed with labeled-type ``∘``; and the VMs'
   optimization level with ``-O {0,1,2}``, default ``-O2``).  ``FILE`` may
-  also be a serialized ``.gradb`` bytecode image, which runs directly on
-  the VM with no front end at all.  The vm engine compiles through the
-  on-disk compile cache (``~/.cache/repro-gradual``) unless ``--no-cache``.
+  also be a serialized ``.gradb`` bytecode image, which runs directly —
+  no front end at all — on the engine its IR fixes (vm for stack images,
+  rvm for register images).  The compiled engines compile through the
+  on-disk compile cache (``~/.cache/repro-gradual``) unless ``--no-cache``;
+  ``--profile`` dumps per-opcode dispatch counts and inline-cache hit
+  rates as JSON on stderr.
 * ``compile FILE``    — lower to λS bytecode; print the disassembly and
-  constant pool, or with ``-o IMAGE.gradb`` serialize a versioned binary
-  image instead (``--mediator threesome`` pre-interns labeled types; ``-O``
-  selects the optimizer level).  Given an existing ``.gradb`` file, prints
-  its provenance and disassembly.
+  constant pool (``--ir register`` prints the packed register streams
+  instead), or with ``-o IMAGE.gradb`` serialize a versioned binary image
+  (``--ir register`` embeds the register streams too, so the image runs on
+  the rvm engine; ``--mediator threesome`` pre-interns labeled types;
+  ``-O`` selects the optimizer level).  Given an existing ``.gradb`` file,
+  prints its provenance and disassembly.
 * ``batch PATH...``   — compile a corpus (directories of ``*.grad``,
   manifest files, or programs) once, through the compile cache, and run it
   across a ``multiprocessing`` worker pool, streaming one JSON line per
@@ -97,22 +103,54 @@ def _print_result(result, show_space: bool) -> int:
     return _OUTCOME_EXIT_CODES[result.kind]
 
 
+def _emit_profile(counts: dict, result, engine: str) -> None:
+    """Dump one JSON object of dispatch counts and inline-cache hit rates to
+    stderr — stderr so it composes with the result (and exit code) on stdout."""
+    import json
+
+    if engine == "rvm":
+        from .compiler.regalloc import R_OPCODE_NAMES as names
+    else:
+        from .compiler.bytecode import OPCODE_NAMES as names
+    stats = result.space_stats or {}
+    hits = stats.get("cache_hits", 0)
+    misses = stats.get("cache_misses", 0)
+    consults = hits + misses
+    profile = {
+        "engine": engine,
+        "dispatches": sum(counts.values()),
+        "opcodes": {
+            names[op]: n
+            for op, n in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        },
+        "inline_cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / consults, 4) if consults else None,
+        },
+    }
+    print(json.dumps(profile), file=sys.stderr, flush=True)
+
+
 def _run_image(args: argparse.Namespace) -> int:
     """Run a serialized image directly: no parsing, no lowering, no cache.
 
-    An image fixes its calculus (λS), engine (the VM), mediator backend,
-    and optimization level at compile time, so passing any of those flags
-    alongside an image is a contradiction — rejected rather than silently
-    ignored (a user comparing engines must not get VM results labeled as
-    the machine's).
+    An image fixes its calculus (λS), engine (vm for stack images, rvm for
+    register images), mediator backend, and optimization level at compile
+    time, so passing any of those flags alongside an image is a
+    contradiction — rejected rather than silently ignored (a user comparing
+    engines must not get VM results labeled as the machine's).
     """
-    from .compiler import load_image, run_code
+    from .compiler import load_image, run_code, run_rcode
     from .core.errors import UsageError
-    from .core.fuel import DEFAULT_VM_FUEL
+    from .core.fuel import DEFAULT_RVM_FUEL, DEFAULT_VM_FUEL
     from .surface.interp import _from_machine_outcome
 
+    image = load_image(args.file)
+    info = image.info
+    engine = "rvm" if info.ir == "register" else "vm"
     fixed = {
-        "--engine": args.engine not in (None, "vm"),
+        "--engine": args.engine not in (None, engine),
         "--calculus": args.calculus is not None,
         "--mediator": args.mediator is not None,
         "-O/--opt-level": args.opt_level is not None,
@@ -122,13 +160,20 @@ def _run_image(args: argparse.Namespace) -> int:
     if offending:
         raise UsageError(
             f"{', '.join(offending)} cannot apply to a compiled .gradb image: "
-            "its engine (vm), calculus (S), mediator, and -O level were fixed "
-            "at compile time (see `repro-gradual compile IMAGE` for its provenance)"
+            f"its engine ({engine}), calculus (S), mediator, and -O level were "
+            "fixed at compile time (see `repro-gradual compile IMAGE` for its "
+            "provenance)"
         )
-    image = load_image(args.file)
-    info = image.info
-    outcome = run_code(image.code, args.fuel if args.fuel is not None else DEFAULT_VM_FUEL)
-    result = _from_machine_outcome(outcome, info.static_type, "S", "vm", info.mediator)
+    counts: dict | None = {} if args.profile else None
+    if engine == "rvm":
+        fuel = args.fuel if args.fuel is not None else DEFAULT_RVM_FUEL
+        outcome = run_rcode(image.rcode, fuel, opcode_counts=counts)
+    else:
+        fuel = args.fuel if args.fuel is not None else DEFAULT_VM_FUEL
+        outcome = run_code(image.code, fuel, opcode_counts=counts)
+    result = _from_machine_outcome(outcome, info.static_type, "S", engine, info.mediator)
+    if counts is not None:
+        _emit_profile(counts, result, engine)
     return _print_result(result, args.show_space)
 
 
@@ -137,6 +182,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return _run_image(args)
     source = Path(args.file).read_text()
     engine = "subst" if args.small_step else (args.engine or "machine")
+    counts: dict | None = None
+    if args.profile:
+        if engine not in ("vm", "rvm"):
+            from .core.errors import UsageError
+
+            raise UsageError(
+                f"--profile counts bytecode dispatches, which engine {engine!r} "
+                "has none of; use --engine vm or --engine rvm"
+            )
+        counts = {}
     result = run_source(
         source,
         calculus=args.calculus or "S",
@@ -145,15 +200,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fuel=args.fuel,
         opt_level=args.opt_level if args.opt_level is not None else 2,
         cache=not args.no_cache,
+        opcode_counts=counts,
     )
+    if counts is not None:
+        _emit_profile(counts, result, engine)
     return _print_result(result, args.show_space)
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     from .compiler import (
+        compile_registers,
         compile_term,
         disassemble,
         disassemble_image,
+        disassemble_registers,
         load_image,
         save_image,
         source_fingerprint,
@@ -167,14 +227,21 @@ def _cmd_compile(args: argparse.Namespace) -> int:
                 "-o expects a source program to compile; "
                 f"{args.file} is already a compiled image"
             )
-        print(disassemble_image(load_image(args.file)))
+        image = load_image(args.file)
+        text = disassemble_image(image)
+        if image.rcode is not None:
+            text += "\n" + disassemble_registers(image.rcode)
+        print(text)
         return EXIT_VALUE
     source = Path(args.file).read_text()
     term, ty = elaborate_program(parse_program(source))
     code = compile_term(term, mediator=args.mediator, opt_level=args.opt_level)
     if args.output is not None:
-        save_image(code, args.output, source_hash=source_fingerprint(source), static_type=ty)
+        save_image(code, args.output, source_hash=source_fingerprint(source),
+                   static_type=ty, ir=args.ir)
         print(f"wrote {args.output}")
+    elif args.ir == "register":
+        print(disassemble_registers(compile_registers(code)))
     else:
         print(disassemble(code))
     return EXIT_VALUE
@@ -258,9 +325,11 @@ def build_parser() -> argparse.ArgumentParser:
     # compiled image can reject flags the image has already fixed.
     run_parser.add_argument("--calculus", choices=["B", "C", "S", "b", "c", "s"], default=None,
                             help="calculus to evaluate (default S)")
-    run_parser.add_argument("--engine", choices=["vm", "machine", "subst"], default=None,
+    run_parser.add_argument("--engine", choices=["vm", "rvm", "machine", "subst"], default=None,
                             help="execution engine: the CEK machine (default), the λS "
-                                 "bytecode VM, or the substitution-based reference oracle")
+                                 "stack bytecode VM, the register VM (packed-stream "
+                                 "dispatch; fastest), or the substitution-based "
+                                 "reference oracle")
     run_parser.add_argument("--mediator", choices=["coercion", "threesome"], default=None,
                             help="pending-mediator representation of the λS machine/VM: "
                                  "canonical coercions merged with # (default) or threesomes "
@@ -272,10 +341,14 @@ def build_parser() -> argparse.ArgumentParser:
                                  "1 static coercion elision + pre-composition, "
                                  "2 (default) superinstructions + inline mediator caches")
     run_parser.add_argument("--show-space", action="store_true", help="print space statistics")
+    run_parser.add_argument("--profile", action="store_true",
+                            help="dump per-opcode dispatch counts and inline-mediator-"
+                                 "cache hit rates as one JSON object on stderr "
+                                 "(vm and rvm engines)")
     run_parser.add_argument("--fuel", type=int, default=None)
     run_parser.add_argument("--no-cache", action="store_true",
-                            help="bypass the on-disk compile cache (vm engine; other "
-                                 "engines never cache)")
+                            help="bypass the on-disk compile cache (vm/rvm engines; "
+                                 "other engines never cache)")
     run_parser.set_defaults(handler=_cmd_run)
 
     compile_parser = sub.add_parser(
@@ -289,6 +362,11 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser.add_argument("-O", "--opt-level", type=int, choices=[0, 1, 2], default=2,
                                 help="optimizer level to disassemble at (default 2; "
                                      "compare against -O0 to see the rewrites)")
+    compile_parser.add_argument("--ir", choices=["stack", "register"], default="stack",
+                                help="instruction representation: the stack bytecode "
+                                     "(default) or the packed register streams the rvm "
+                                     "engine executes (-o images carry both IRs' code "
+                                     "when register)")
     compile_parser.add_argument("-o", "--output", default=None, metavar="IMAGE",
                                 help="serialize a versioned binary .gradb image here "
                                      "instead of printing the disassembly")

@@ -10,11 +10,12 @@ The pipeline (surface → λB → λC → λS → bytecode → VM)::
         ▼
     CodeObject over a ConstantPool   (repro.compiler.bytecode)
         │  repro.compiler.vm         integer dispatch, pending-coercion slot
-        ▼
+        │  repro.compiler.regalloc   stack → register IR, packed word streams
+        ▼                            (repro.compiler.rvm: the fastest engine)
     MachineOutcome (value / blame / timeout) with space statistics
 
-The CEK machine (:mod:`repro.machine`) remains the oracle for this engine:
-``repro.properties.bisimulation.check_vm_oracle`` runs the VM against both
+The CEK machine (:mod:`repro.machine`) remains the oracle for both VMs:
+``repro.properties.bisimulation.check_vm_oracle`` runs them against both
 the machine and the substitution reducers and compares observables.
 """
 
@@ -28,9 +29,26 @@ from .bytecode import (
     opcode_fingerprint,
 )
 from .cache import CacheOutcome, cache_path, cached_compile, default_cache_dir
-from .disasm import disassemble, disassemble_image, instruction_streams, parse_disassembly
+from .disasm import (
+    disassemble,
+    disassemble_image,
+    disassemble_registers,
+    instruction_streams,
+    parse_disassembly,
+    parse_register_disassembly,
+    register_streams,
+)
 from .lower import lower_program
 from .opt import DEFAULT_OPT_LEVEL, OPT_LEVELS, hot_pairs, optimize
+from .regalloc import RCode, all_rcodes, compile_registers, register_fingerprint
+from .rvm import (
+    RVM,
+    THE_RVM,
+    RClosure,
+    compile_term_registers,
+    run_on_rvm,
+    run_rcode,
+)
 from .serialize import (
     FORMAT_VERSION,
     GRADB_MAGIC,
@@ -66,8 +84,11 @@ __all__ = [
     "default_cache_dir",
     "disassemble",
     "disassemble_image",
+    "disassemble_registers",
     "instruction_streams",
     "parse_disassembly",
+    "parse_register_disassembly",
+    "register_streams",
     "FORMAT_VERSION",
     "GRADB_MAGIC",
     "GRADB_SUFFIX",
@@ -91,4 +112,14 @@ __all__ = [
     "compile_term",
     "run_code",
     "run_on_vm",
+    "RCode",
+    "all_rcodes",
+    "compile_registers",
+    "register_fingerprint",
+    "RVM",
+    "THE_RVM",
+    "RClosure",
+    "compile_term_registers",
+    "run_on_rvm",
+    "run_rcode",
 ]

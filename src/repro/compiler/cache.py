@@ -6,8 +6,11 @@ mediator backend, and the toolchain's format/instruction-set version.  So a
 compiled image is cached under a key that is exactly that tuple, hashed::
 
     ~/.cache/repro-gradual/<k[:2]>/<k>.gradb
-    k = sha256(format version ‖ opcode fingerprint ‖ source hash ‖
-               opt level ‖ mediator)
+    k = sha256(format version ‖ opcode fingerprint ‖ [IR ‖ register
+               fingerprint] ‖ source hash ‖ opt level ‖ mediator)
+
+(the IR axis — stack vs register — is keyed so register images never
+collide with stack images of the same source/level/mediator)
 
 and a warm ``run`` deserializes the image instead of re-running the whole
 parse → type check → elaborate → translate → lower → optimize pipeline.
@@ -33,6 +36,7 @@ from pathlib import Path
 from ..core.terms import Term
 from ..core.types import Type
 from .bytecode import opcode_fingerprint
+from .regalloc import register_fingerprint
 from .serialize import (
     FORMAT_VERSION,
     GRADB_SUFFIX,
@@ -58,23 +62,33 @@ def default_cache_dir() -> Path:
     return base / "repro-gradual"
 
 
-def cache_key(source_hash: str, opt_level: int, mediator: str) -> str:
+def cache_key(source_hash: str, opt_level: int, mediator: str, ir: str = "stack") -> str:
     """The content address of one compilation: hex SHA-256 over every input
-    that can change the produced image."""
+    that can change the produced image.  ``ir`` is an axis of the key, so a
+    register image never collides with a stack image of the same source —
+    and register keys also cover the register instruction set's own
+    fingerprint (a renumbering invalidates register entries only)."""
     digest = hashlib.sha256()
     digest.update(f"gradb-v{FORMAT_VERSION}\x00".encode())
     digest.update(opcode_fingerprint())
+    if ir != "stack":
+        digest.update(f"\x00ir={ir}\x00".encode())
+        digest.update(register_fingerprint())
     digest.update(f"\x00{source_hash}\x00{opt_level}\x00{mediator}".encode())
     return digest.hexdigest()
 
 
 def cache_path(
-    source_hash: str, opt_level: int, mediator: str, cache_dir: str | os.PathLike | None = None
+    source_hash: str,
+    opt_level: int,
+    mediator: str,
+    cache_dir: str | os.PathLike | None = None,
+    ir: str = "stack",
 ) -> Path:
     """Where the image for this compilation lives (two-level fan-out, so a
     large cache does not pile every entry into one directory)."""
     root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
-    key = cache_key(source_hash, opt_level, mediator)
+    key = cache_key(source_hash, opt_level, mediator, ir)
     return root / key[:2] / (key + GRADB_SUFFIX)
 
 
@@ -116,6 +130,7 @@ def cache_lookup(
     opt_level: int,
     mediator: str,
     cache_dir: str | os.PathLike | None = None,
+    ir: str = "stack",
 ) -> LoadedImage | None:
     """The cached image for this compilation, or ``None`` on a miss.
 
@@ -123,7 +138,7 @@ def cache_lookup(
     path of ``run_source``, which skips parsing, elaboration, lowering,
     and optimization entirely when it returns an image.
     """
-    return _try_load(cache_path(source_hash, opt_level, mediator, cache_dir))
+    return _try_load(cache_path(source_hash, opt_level, mediator, cache_dir, ir))
 
 
 def cached_compile(
@@ -133,6 +148,7 @@ def cached_compile(
     mediator: str = "coercion",
     opt_level: int | None = None,
     cache_dir: str | os.PathLike | None = None,
+    ir: str = "stack",
 ) -> CacheOutcome:
     """Compile a λB term through the cache.
 
@@ -142,6 +158,9 @@ def cached_compile(
     the stored image is deserialized (re-interned, ready to run); on a miss
     — or after deleting a corrupt entry — the term is compiled, stored
     atomically, and returned without a second round trip through disk.
+
+    ``ir="register"`` caches (and on a hit returns) an image that carries
+    the packed register streams too, under its own key.
     """
     from ..core.pretty import term_to_str
     from .opt import DEFAULT_OPT_LEVEL
@@ -151,7 +170,7 @@ def cached_compile(
         opt_level = DEFAULT_OPT_LEVEL
     if source_hash is None:
         source_hash = source_fingerprint(term_to_str(term))
-    path = cache_path(source_hash, opt_level, mediator, cache_dir)
+    path = cache_path(source_hash, opt_level, mediator, cache_dir, ir)
     existed = path.exists()
     image = _try_load(path)
     if image is not None:
@@ -159,10 +178,17 @@ def cached_compile(
 
     code = compile_term(term, mediator=mediator, opt_level=opt_level)
     try:
-        save_image(code, path, source_hash=source_hash, static_type=static_type)
+        save_image(code, path, source_hash=source_hash, static_type=static_type, ir=ir)
     except OSError:
         pass  # a read-only or full cache degrades to compile-always
     from .serialize import ImageInfo
 
-    info = ImageInfo(FORMAT_VERSION, source_hash, opt_level, mediator, static_type)
-    return CacheOutcome(LoadedImage(code, info), "recovered" if existed else "miss", path)
+    rcode = None
+    if ir == "register":
+        from .regalloc import compile_registers
+
+        rcode = compile_registers(code)
+    info = ImageInfo(FORMAT_VERSION, source_hash, opt_level, mediator, static_type, ir)
+    return CacheOutcome(
+        LoadedImage(code, info, rcode), "recovered" if existed else "miss", path
+    )

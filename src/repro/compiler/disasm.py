@@ -43,9 +43,18 @@ from .bytecode import (
     all_code_objects,
     unpack_operands,
 )
+from .regalloc import (
+    R_OPCODE_NAMES,
+    R_OPCODES_BY_NAME,
+    R_SIGS,
+    all_rcodes,
+    instruction_width,
+)
 
 _INSTR_RE = re.compile(r"^\s*(\d+)\s+([A-Z][A-Z_0-9]*)(?:\s+(-?\d+))?\s*(?:;.*)?$")
 _CODE_RE = re.compile(r"^code\s+(\d+)\s+(\S+)")
+_RINSTR_RE = re.compile(r"^\s*(\d+)\s+([A-Z][A-Z_0-9]*)((?:\s+\d+)*)\s*(?:;.*)?$")
+_RCODE_RE = re.compile(r"^rcode\s+(\d+)\s+(\S+)")
 
 
 def _comment(code: CodeObject, opcode: int, operand: int) -> str:
@@ -138,7 +147,7 @@ def disassemble_image(image) -> str:
     info = image.info
     lines = [
         f"; gradb image v{info.format_version}",
-        f"; mediator={info.mediator} opt-level={info.opt_level}",
+        f"; mediator={info.mediator} opt-level={info.opt_level} ir={info.ir}",
         f"; source-hash={info.source_hash or '-'}",
         f"; type={info.static_type if info.static_type is not None else '-'}",
         "",
@@ -149,6 +158,103 @@ def disassemble_image(image) -> str:
 def instruction_streams(code: CodeObject) -> list[list[tuple[int, int]]]:
     """The program's raw ``(opcode, operand)`` lists, entry code first."""
     return [list(obj.instructions) for obj in all_code_objects(code)]
+
+
+def _register_comment(obj, op: int, pc: int) -> str:
+    """Describe one register instruction's operands per its signature."""
+    pool = obj.pool
+    words = obj.words
+    parts: list[str] = []
+    i = pc + 1
+    for ch in R_SIGS[op]:
+        w = words[i]
+        if ch == "d" or ch == "s":
+            parts.append(f"r{w}")
+        elif ch == "p":
+            _, arity, _, name = pool.prims[w]
+            parts.append(f"{name}/{arity}")
+        elif ch == "c":
+            parts.append(str(pool.coercions[w]))
+        elif ch == "k":
+            parts.append(str(pool.consts[w]))
+        elif ch == "L":
+            parts.append(str(pool.labels[w]))
+        elif ch == "C":
+            # +1: the entry rcode is listed first, shifting the pool's codes
+            parts.append(f"rcode {w + 1} {pool.codes[w].name}")
+        elif ch == "t":
+            parts.append(f"-> {w}")
+        elif ch == "n":
+            count = w
+            regs = words[i + 1 : i + 1 + count]
+            parts.append("[" + " ".join(f"r{x}" for x in regs) + "]")
+            i += count
+        i += 1
+    return " ".join(parts)
+
+
+def disassemble_registers(rcode) -> str:
+    """Render a register-compiled program (entry rcode + nested rcodes) as
+    text.  Each line is ``pc NAME w1 w2 …`` where ``pc`` is the *word* index
+    of the instruction in the packed stream; the comment spells the operands
+    out per the opcode's signature.  :func:`parse_register_disassembly`
+    recovers the exact word streams (the register round trip)."""
+    lines: list[str] = []
+    for index, obj in enumerate(all_rcodes(rcode)):
+        param = obj.param if obj.param is not None else "-"
+        pinned = ",".join(map(str, obj.const_regs)) if obj.const_regs else "-"
+        lines.append(
+            f"rcode {index} {obj.name}  (free={obj.n_free}, param={param}, "
+            f"regs={obj.n_regs}, pinned-consts={pinned})"
+        )
+        words = obj.words
+        pc = 0
+        end = len(words)
+        while pc < end:
+            op = words[pc]
+            width = instruction_width(op, words, pc)
+            name = R_OPCODE_NAMES[op]
+            operands = " ".join(str(w) for w in words[pc + 1 : pc + width])
+            comment = _register_comment(obj, op, pc)
+            suffix = f"        ; {comment}" if comment else ""
+            if operands:
+                lines.append(f"  {pc:4d}  {name:<22} {operands}{suffix}")
+            else:
+                lines.append(f"  {pc:4d}  {name}{suffix}")
+            pc += width
+        lines.append("")
+    return "\n".join(lines)
+
+
+def register_streams(rcode) -> list[list[int]]:
+    """The program's raw packed word streams, entry rcode first."""
+    return [list(obj.words) for obj in all_rcodes(rcode)]
+
+
+def parse_register_disassembly(text: str) -> list[list[int]]:
+    """Recover the packed word streams from register disassembly text."""
+    streams: list[list[int]] = []
+    current: list[int] | None = None
+    for line in text.splitlines():
+        if _RCODE_RE.match(line):
+            current = []
+            streams.append(current)
+            continue
+        if current is None or not line.strip() or line.startswith("pool"):
+            current = None if (line.startswith("pool") or not line.strip()) else current
+            continue
+        match = _RINSTR_RE.match(line)
+        if not match:
+            raise CompileError(f"unparseable register disassembly line: {line!r}")
+        pc, name, operands = match.groups()
+        opcode = R_OPCODES_BY_NAME.get(name)
+        if opcode is None:
+            raise CompileError(f"unknown register opcode in disassembly: {name!r}")
+        if int(pc) != len(current):
+            raise CompileError(f"out-of-order pc in register disassembly: {line!r}")
+        current.append(opcode)
+        current.extend(int(w) for w in operands.split())
+    return streams
 
 
 def parse_disassembly(text: str) -> list[list[tuple[int, int]]]:

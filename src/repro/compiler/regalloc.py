@@ -1,0 +1,751 @@
+"""Register allocation: stack bytecode → the packed register IR of the rvm.
+
+This pass sits after the optimizer (:mod:`repro.compiler.opt`) and converts
+each stack :class:`~repro.compiler.bytecode.CodeObject` into an
+:class:`RCode`: a **flat packed word stream** (``array('I')``) over the same
+shared constant pool, executed by :mod:`repro.compiler.rvm`.  Four changes
+relative to the stack IR, each removing per-instruction Python-object work:
+
+* **registers instead of stack traffic.**  The converter symbolically
+  executes the operand stack at compile time: every stack slot at every
+  program point is resolved to a *register* — frame locals keep their
+  slots, stack temporaries get the registers above them (``n_locals +
+  depth``).  ``LOAD``/``PUSH_CONST``/``STORE`` round trips disappear
+  entirely; a consumer reads its operands straight out of the register
+  file.
+
+* **constants pinned in the register file.**  Each code object's used pool
+  constants are appended to its register file as read-only registers
+  (``RCode.const_regs``), pre-filled in the frame template
+  (``RCode.blank``).  A value operand is then always a plain register
+  number — the hot loop reads ``regs[w]`` with no tag test, and constants
+  flow into consumers without materialization instructions.
+
+* **packed words instead of object tuples.**  An instruction is an opcode
+  word followed by its operand words, all small unsigned ints in one flat
+  ``array('I')`` per code object — no per-instruction tuple objects, no
+  tuple unpacking in the hot loop.  (The interpreter localizes the words
+  into a tuple once per code object — ``RCode.words`` stays the canonical
+  packed form that images serialize; see :attr:`RCode.stream`.)
+
+* **structural and peephole fusion.**  A primitive reads both inputs and
+  writes its destination in one instruction, and a primitive feeding a
+  conditional branch is one compare-and-branch (``BR_PRIM2``) — fusions the
+  stack VM needs dynamic profiling and superinstructions for.  On top of
+  that, at ``-O2`` the hottest *register-level* adjacent pairs are fused
+  into two-in-one instructions (:data:`R_FUSIONS`) — e.g.
+  ``COMPOSE;COERCE`` and ``PRIM2;TAILCALL``, the inner-loop shapes of
+  boundary-crossing tail recursion — halving dispatches per iteration
+  again.
+
+The mediator discipline is untouched: ``COMPOSE``/``COERCE``/call-site
+proxy unwrapping convert 1:1 (same pool indices, same order), so the single
+pending-coercion slot per frame, the memoised ``#``/``∘`` merges, and the
+``-O2`` inline mediator caches carry over unchanged — a boundary tail loop
+still runs with ``max_pending_mediators == 1`` (asserted against the stack
+VM by ``check_vm_oracle``/``check_mediator_oracle``).
+
+Stack superinstruction input is accepted: an ``-O2`` stack stream is first
+expanded back into base pairs (:func:`unfuse`), because the register IR
+subsumes those fusions structurally.  Conversion is deterministic, so a
+``.gradb`` image may either carry the register words (``ir="register"``) or
+be converted after load.
+
+**Instruction signatures.**  Every opcode's operand layout is a signature
+string (:data:`R_SIGS`), one character per operand word — the single
+source of truth for widths, disassembly, image validation, and the fusion
+pass:
+
+=====  =======================================================
+char   operand word
+=====  =======================================================
+``d``  destination register
+``s``  source register (a local, a temporary, or a pinned const)
+``p``  operator index (``pool.prims``)
+``c``  mediator index (``pool.coercions``)
+``k``  constant index (``pool.consts`` — ``FIX``'s type annotation)
+``C``  code index (``pool.codes``/``pool.rcodes``)
+``L``  blame-label index (``pool.labels``)
+``t``  branch target (a word pc in this stream)
+``n``  source count, followed by that many ``s`` words (``*``)
+=====  =======================================================
+
+Base instruction set (fused opcodes concatenate two of these):
+
+==============  ======  =============================================
+opcode          sig     effect
+==============  ======  =============================================
+``MOVE``        d s     ``r[d] = r[s]``
+``PRIM1``       d p s   unary operator
+``PRIM2``       d p s s binary operator
+``PRIMN``       d p n*  n-ary operator
+``BR_PRIM1``    p s t   unary operator, branch if false
+``BR_PRIM2``    p s s t binary operator, branch if false
+``BR_FALSE``    s t     branch if false
+``JUMP``        t       unconditional branch
+``CALL``        d s s   push a frame; result lands in ``d``
+``TAILCALL``    s s     reuse the frame (pending survives)
+``RETURN``      s       apply pending, pop the frame
+``COERCE``      d s c   immediate mediator application
+``COMPOSE``     c       merge into the frame's pending slot
+``CLOSURE``     d C n*  build a closure over n captured sources
+``FIX``         d s k   wrap a functional as ``fix V``
+``PAIR``        d s s   build a pair
+``FST``/``SND`` d s     project a pair (or pair proxy)
+``BLAME``       L       halt with ``blame p``
+==============  ======  =============================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+from array import array
+from functools import lru_cache
+
+from ..core.errors import CompileError
+from .bytecode import (
+    BLAME,
+    CALL,
+    COERCE,
+    COMPOSE,
+    FST,
+    JUMP,
+    JUMP_IF_FALSE,
+    LOAD,
+    MAKE_CLOSURE,
+    MAKE_FIX,
+    PAIR,
+    PRIM,
+    PUSH_CONST,
+    RETURN,
+    SND,
+    STORE,
+    SUPERINSTRUCTIONS,
+    TAILCALL,
+    CodeObject,
+    unpack_operands,
+)
+
+# Register opcodes: a numbering space of their own (a register stream is
+# never mixed with a stack stream).  The numbering is part of the dispatch
+# design: fused superinstructions (-O2 peephole pairs, see below) and their
+# bases are arranged so the interpreter's hottest tests come first and the
+# three shared-body families sit in contiguous bands it can catch with one
+# range test each — calls in 20–25, returns in 26–28, coerces in 29–30.
+R_COERCE_BR_PRIM1 = 0
+R_COMPOSE_COERCE = 1
+R_CLOSURE_BR_PRIM1 = 2
+R_COMPOSE_PRIM2 = 3
+R_BR_PRIM2 = 4
+R_PRIM2 = 5
+R_MOVE_PRIM2 = 6
+R_BR_PRIM1 = 7
+R_BR_FALSE = 8
+R_MOVE = 9
+R_JUMP = 10
+R_CLOSURE = 11
+R_PRIM1 = 12
+R_FIX = 13
+R_PAIR = 14
+R_FST = 15
+R_SND = 16
+R_PRIMN = 17
+R_BLAME = 18
+R_COMPOSE = 19
+R_TAILCALL = 20
+R_PRIM2_TAILCALL = 21
+R_COERCE_TAILCALL = 22
+R_CALL = 23
+R_COERCE_CALL = 24
+R_PRIM2_CALL = 25
+R_RETURN = 26
+R_PRIM2_RETURN = 27
+R_CLOSURE_RETURN = 28
+R_COERCE = 29
+R_COERCE_COERCE = 30
+
+#: Fused opcode → its two halves, in execution order.  These are the
+#: statically adjacent pairs that dominate the workloads' inner loops —
+#: measured the same way the stack VM's superinstruction set was (dynamic
+#: pair frequencies over the benchmark workloads).  Operand words are the
+#: first half's followed by the second half's; each half keeps its own
+#: inline-cache cell (first at the instruction's pc, second at pc+1).
+R_FUSED = {
+    R_COERCE_BR_PRIM1: (R_COERCE, R_BR_PRIM1),
+    R_COMPOSE_COERCE: (R_COMPOSE, R_COERCE),
+    R_CLOSURE_BR_PRIM1: (R_CLOSURE, R_BR_PRIM1),
+    R_COMPOSE_PRIM2: (R_COMPOSE, R_PRIM2),
+    R_MOVE_PRIM2: (R_MOVE, R_PRIM2),
+    R_PRIM2_TAILCALL: (R_PRIM2, R_TAILCALL),
+    R_COERCE_TAILCALL: (R_COERCE, R_TAILCALL),
+    R_COERCE_CALL: (R_COERCE, R_CALL),
+    R_PRIM2_CALL: (R_PRIM2, R_CALL),
+    R_PRIM2_RETURN: (R_PRIM2, R_RETURN),
+    R_CLOSURE_RETURN: (R_CLOSURE, R_RETURN),
+    R_COERCE_COERCE: (R_COERCE, R_COERCE),
+}
+
+#: Adjacent pair → fused opcode, the peephole table of :func:`fuse_stream`.
+R_FUSIONS = {halves: fused for fused, halves in R_FUSED.items()}
+
+_BASE_NAMES = {
+    R_MOVE: "MOVE",
+    R_PRIM1: "PRIM1",
+    R_PRIM2: "PRIM2",
+    R_PRIMN: "PRIMN",
+    R_BR_PRIM1: "BR_PRIM1",
+    R_BR_PRIM2: "BR_PRIM2",
+    R_BR_FALSE: "BR_FALSE",
+    R_JUMP: "JUMP",
+    R_CALL: "CALL",
+    R_TAILCALL: "TAILCALL",
+    R_RETURN: "RETURN",
+    R_COERCE: "COERCE",
+    R_COMPOSE: "COMPOSE",
+    R_CLOSURE: "CLOSURE",
+    R_FIX: "FIX",
+    R_PAIR: "PAIR",
+    R_FST: "FST",
+    R_SND: "SND",
+    R_BLAME: "BLAME",
+}
+
+R_OPCODE_NAMES = dict(_BASE_NAMES)
+for _fused, (_op1, _op2) in R_FUSED.items():
+    R_OPCODE_NAMES[_fused] = f"{_BASE_NAMES[_op1]}_{_BASE_NAMES[_op2]}"
+
+R_OPCODES_BY_NAME = {name: code for code, name in R_OPCODE_NAMES.items()}
+
+_BASE_SIGS = {
+    R_MOVE: "ds",
+    R_PRIM1: "dps",
+    R_PRIM2: "dpss",
+    R_PRIMN: "dpn",
+    R_BR_PRIM1: "pst",
+    R_BR_PRIM2: "psst",
+    R_BR_FALSE: "st",
+    R_JUMP: "t",
+    R_CALL: "dss",
+    R_TAILCALL: "ss",
+    R_RETURN: "s",
+    R_COERCE: "dsc",
+    R_COMPOSE: "c",
+    R_CLOSURE: "dCn",
+    R_FIX: "dsk",
+    R_PAIR: "dss",
+    R_FST: "ds",
+    R_SND: "ds",
+    R_BLAME: "L",
+}
+
+#: Opcode → operand signature (see the module docstring).  A trailing or
+#: embedded ``n`` is followed by that many extra ``s`` words at run time.
+R_SIGS = dict(_BASE_SIGS)
+for _fused, (_op1, _op2) in R_FUSED.items():
+    R_SIGS[_fused] = _BASE_SIGS[_op1] + _BASE_SIGS[_op2]
+
+#: Fixed part of each instruction's width in words (opcode word included);
+#: every ``n`` in the signature adds its count of source words on top.
+R_WIDTHS = {op: 1 + len(sig) for op, sig in R_SIGS.items()}
+
+#: Opcodes whose width depends on an ``n`` operand.
+R_VARIABLE = frozenset(op for op, sig in R_SIGS.items() if "n" in sig)
+
+
+def instruction_width(op: int, words, pc: int) -> int:
+    """The full width in words of the instruction at ``pc`` (``op`` =
+    ``words[pc]``), counting any variable source lists."""
+    width = R_WIDTHS[op]
+    if op in R_VARIABLE:
+        sig = R_SIGS[op]
+        offset = 1
+        for ch in sig:
+            if ch == "n":
+                width += words[pc + offset]
+            offset += 1
+            if ch == "n":
+                offset += words[pc + offset - 1]
+    return width
+
+
+def _operand_offsets(op: int, words, pc: int, kind: str) -> list[int]:
+    """Word offsets (relative to ``pc``) of every ``kind`` operand of the
+    instruction at ``pc``, expanding ``n`` source lists when ``kind == 's'``."""
+    offsets = []
+    offset = 1
+    for ch in R_SIGS[op]:
+        if ch == "n":
+            count = words[pc + offset]
+            if kind == "s":
+                offsets.extend(range(offset + 1, offset + 1 + count))
+            offset += 1 + count
+        else:
+            if ch == kind:
+                offsets.append(offset)
+            offset += 1
+    return offsets
+
+
+@lru_cache(maxsize=1)
+def register_fingerprint() -> bytes:
+    """An 8-byte digest of the register instruction set (mirrors
+    :func:`~repro.compiler.bytecode.opcode_fingerprint`): serialized register
+    streams embed it, so an image from a different register ISA is rejected
+    at load time instead of dispatched wrongly."""
+    digest = hashlib.sha256()
+    for code in sorted(R_OPCODE_NAMES):
+        digest.update(f"{code}={R_OPCODE_NAMES[code]}/{R_SIGS[code]};".encode())
+    return digest.digest()[:8]
+
+
+class RCode:
+    """One register-code function body over the shared constant pool.
+
+    ``words`` is the canonical packed instruction stream (``array('I')``);
+    ``stream`` is the same words localized into a tuple, which is what the
+    rvm's dispatch loop indexes (a tuple fetch skips the array item's int
+    boxing).  The register file extends the stack code's locals —
+    ``[free vars..., parameter, let slots..., stack temporaries...,
+    pinned constants...]`` — and ``blank`` is its per-call template with
+    the constants (``const_regs``, pool indices in register order) already
+    in place: a call frame is ``blank.copy()`` plus the captured values and
+    the argument.
+    """
+
+    __slots__ = (
+        "name",
+        "words",
+        "stream",
+        "pool",
+        "n_free",
+        "n_regs",
+        "const_regs",
+        "blank",
+        "param",
+        "local_names",
+        "caches",
+        "opt_level",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        words: array,
+        pool,
+        n_free: int,
+        n_regs: int,
+        const_regs: tuple[int, ...],
+        param: str | None,
+        local_names: tuple[str, ...],
+        opt_level: int = 0,
+    ):
+        self.name = name
+        self.words = words
+        self.stream = tuple(words)
+        self.pool = pool
+        self.n_free = n_free
+        self.n_regs = n_regs
+        self.const_regs = const_regs
+        self.blank = [None] * (n_regs - len(const_regs)) + [
+            pool.consts[i] for i in const_regs
+        ]
+        self.param = param
+        self.local_names = local_names
+        self.opt_level = opt_level
+        # Per-site inline mediator caches, indexed by the pc of the opcode
+        # word — pc+1 for the second half of a fused pair (None below -O2,
+        # mirroring the stack VM's CodeObject.caches).
+        self.caches: list | None = [None] * (len(words) + 1) if opt_level >= 2 else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<rcode {self.name}: {len(self.words)} words, "
+            f"{self.n_free} free, {self.n_regs} regs>"
+        )
+
+
+def all_rcodes(rcode: RCode) -> list["RCode"]:
+    """The program's register code objects: entry first, then the pool's."""
+    result = [rcode]
+    for child in rcode.pool.rcodes:
+        if child is not rcode:
+            result.append(child)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Stack superinstruction expansion
+# ---------------------------------------------------------------------------
+
+
+def unfuse(insns: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Expand ``-O2`` stack superinstructions back into their base pairs.
+
+    The register IR fuses at its own level (operands ride in the
+    instruction), so the stack-level pair fusions only obscure the
+    conversion.  Jump targets are remapped; no jump can target the second
+    half of a fused pair (the optimizer guaranteed that when it fused).
+    """
+    if not any(op in SUPERINSTRUCTIONS for op, _ in insns):
+        return list(insns)
+    expanded: list[tuple[int, int]] = []
+    old2new = []
+    for op, operand in insns:
+        old2new.append(len(expanded))
+        if op in SUPERINSTRUCTIONS:
+            op1, op2 = SUPERINSTRUCTIONS[op]
+            a, b = unpack_operands(op, operand)
+            expanded.append((op1, a))
+            expanded.append((op2, b))
+        else:
+            expanded.append((op, operand))
+    old2new.append(len(expanded))
+    return [
+        (op, old2new[operand] if op in (JUMP, JUMP_IF_FALSE) else operand)
+        for op, operand in expanded
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Stack → register conversion
+# ---------------------------------------------------------------------------
+
+#: During conversion, a symbolic source ``w`` at or above this base names
+#: pool constant ``w - RK`` (below it, register ``w``).  The tag never
+#: reaches the final stream: :func:`_pin_constants` rewrites every tagged
+#: word to the constant's pinned register.
+RK = 1 << 18
+
+
+class _RBuilder:
+    """Mutable state for one register code object under conversion."""
+
+    def __init__(self, obj: CodeObject, insns: list[tuple[int, int]]):
+        self.obj = obj
+        self.insns = insns
+        self.base = obj.n_locals
+        self.words: list[int] = []
+        self.max_depth = 0
+        # stack pc of every jump target (joins need a canonical stack shape).
+        self.targets = {operand for op, operand in insns if op in (JUMP, JUMP_IF_FALSE)}
+        # stack pc -> word pc, filled as instructions are emitted.
+        self.word_of: dict[int, int] = {}
+        # (index into words holding a stack-pc target) to patch at the end.
+        self.fixups: list[int] = []
+        # stack pc -> the canonical symbolic stack entering that join.
+        self.saved: dict[int, list[int]] = {}
+
+    def emit(self, *ws: int) -> None:
+        self.words.extend(ws)
+
+    def emit_jump_operand(self, stack_target: int) -> None:
+        self.fixups.append(len(self.words))
+        self.words.append(stack_target)
+
+    def note_depth(self, depth: int) -> None:
+        if depth > self.max_depth:
+            self.max_depth = depth
+
+    def canonicalize(self, stack: list[int]) -> None:
+        """Force every stack entry into its canonical register (``base + d``)
+        so join points meet a path-independent register shape."""
+        for d, src in enumerate(stack):
+            want = self.base + d
+            if src != want:
+                self.emit(R_MOVE, want, src)
+                stack[d] = want
+        self.note_depth(len(stack))
+
+
+def _convert_code(obj: CodeObject, pool) -> RCode:
+    b = _RBuilder(obj, unfuse(obj.instructions))
+    insns = b.insns
+    n = len(insns)
+    prims = pool.prims
+    stack: list[int] | None = []
+    i = 0
+    while i < n:
+        if i in b.targets:
+            if stack is not None:
+                b.canonicalize(stack)
+                recorded = b.saved.get(i)
+                if recorded is None:
+                    b.saved[i] = list(stack)
+                elif recorded != stack:  # pragma: no cover - compiler invariant
+                    raise CompileError(
+                        f"inconsistent stack shapes at join {i} in {obj.name}"
+                    )
+            else:
+                recorded = b.saved.get(i)
+                if recorded is not None:
+                    stack = list(recorded)
+                # No recorded shape means every jump here sits in a dead
+                # region itself (jumps are forward-only), so the target is
+                # just as unreachable — leave ``stack`` as None and skip on.
+        if stack is None:
+            i += 1  # unreachable (after RETURN/BLAME/JUMP/TAILCALL)
+            continue
+        b.word_of.setdefault(i, len(b.words))
+        op, operand = insns[i]
+
+        if op == LOAD:
+            stack.append(operand)
+        elif op == PUSH_CONST:
+            stack.append(RK + operand)
+        elif op == STORE:
+            src = stack.pop()
+            _flush_slot(b, stack, operand)
+            if src != operand:
+                b.emit(R_MOVE, operand, src)
+        elif op == PRIM:
+            arity = prims[operand][1]
+            srcs = stack[len(stack) - arity:]
+            del stack[len(stack) - arity:]
+            nxt = insns[i + 1] if i + 1 < n and (i + 1) not in b.targets else None
+            if nxt is not None and nxt[0] == JUMP_IF_FALSE and arity <= 2:
+                # Fuse compare-and-branch: the inner-loop shape.
+                b.canonicalize(stack)
+                b.saved.setdefault(nxt[1], list(stack))
+                if arity == 1:
+                    b.emit(R_BR_PRIM1, operand, srcs[0])
+                else:
+                    b.emit(R_BR_PRIM2, operand, srcs[0], srcs[1])
+                b.emit_jump_operand(nxt[1])
+                i += 2
+                continue
+            dst, skip = _dest(b, stack, i)
+            if arity == 1:
+                b.emit(R_PRIM1, dst, operand, srcs[0])
+            elif arity == 2:
+                b.emit(R_PRIM2, dst, operand, srcs[0], srcs[1])
+            else:
+                b.emit(R_PRIMN, dst, operand, arity, *srcs)
+            if not skip:
+                stack.append(dst)
+            i += 1 + skip
+            continue
+        elif op == JUMP_IF_FALSE:
+            cond = stack.pop()
+            b.canonicalize(stack)
+            b.saved.setdefault(operand, list(stack))
+            b.emit(R_BR_FALSE, cond)
+            b.emit_jump_operand(operand)
+        elif op == JUMP:
+            b.canonicalize(stack)
+            b.saved.setdefault(operand, list(stack))
+            b.emit(R_JUMP)
+            b.emit_jump_operand(operand)
+            stack = None
+        elif op == CALL:
+            arg = stack.pop()
+            fun = stack.pop()
+            dst, skip = _dest(b, stack, i)
+            b.emit(R_CALL, dst, fun, arg)
+            if not skip:
+                stack.append(dst)
+            i += 1 + skip
+            continue
+        elif op == TAILCALL:
+            arg = stack.pop()
+            fun = stack.pop()
+            b.emit(R_TAILCALL, fun, arg)
+            stack = None
+        elif op == RETURN:
+            b.emit(R_RETURN, stack.pop())
+            stack = None
+        elif op == COERCE:
+            src = stack.pop()
+            dst, skip = _dest(b, stack, i)
+            b.emit(R_COERCE, dst, src, operand)
+            if not skip:
+                stack.append(dst)
+            i += 1 + skip
+            continue
+        elif op == COMPOSE:
+            b.emit(R_COMPOSE, operand)
+        elif op == MAKE_CLOSURE:
+            n_free = pool.codes[operand].n_free
+            srcs = stack[len(stack) - n_free:] if n_free else []
+            if n_free:
+                del stack[len(stack) - n_free:]
+            dst, skip = _dest(b, stack, i)
+            b.emit(R_CLOSURE, dst, operand, n_free, *srcs)
+            if not skip:
+                stack.append(dst)
+            i += 1 + skip
+            continue
+        elif op == MAKE_FIX:
+            src = stack.pop()
+            dst, skip = _dest(b, stack, i)
+            b.emit(R_FIX, dst, src, operand)
+            if not skip:
+                stack.append(dst)
+            i += 1 + skip
+            continue
+        elif op == PAIR:
+            right = stack.pop()
+            left = stack.pop()
+            dst, skip = _dest(b, stack, i)
+            b.emit(R_PAIR, dst, left, right)
+            if not skip:
+                stack.append(dst)
+            i += 1 + skip
+            continue
+        elif op == FST or op == SND:
+            src = stack.pop()
+            dst, skip = _dest(b, stack, i)
+            b.emit(R_FST if op == FST else R_SND, dst, src)
+            if not skip:
+                stack.append(dst)
+            i += 1 + skip
+            continue
+        elif op == BLAME:
+            b.emit(R_BLAME, operand)
+            stack = None
+        else:  # pragma: no cover - defensive
+            raise CompileError(f"cannot register-allocate stack opcode {op}")
+        i += 1
+
+    b.word_of.setdefault(n, len(b.words))
+    for index in b.fixups:
+        b.words[index] = b.word_of[b.words[index]]
+    words = b.words
+    base_regs = b.base + b.max_depth
+    words, const_regs = _pin_constants(words, base_regs)
+    if obj.opt_level >= 2:
+        words = fuse_stream(words)
+    return RCode(
+        obj.name,
+        array("I", words),
+        pool,
+        obj.n_free,
+        max(base_regs, 1) + len(const_regs),
+        const_regs,
+        obj.param,
+        obj.local_names,
+        opt_level=obj.opt_level,
+    )
+
+
+def _flush_slot(b: _RBuilder, stack: list[int], slot: int) -> None:
+    """Rescue any symbolic-stack entry still naming ``slot`` before the slot
+    is overwritten (moves the copy into its canonical temporary).  The
+    lowerer stores each ``let`` slot exactly once, before any load of it, so
+    this never fires today — it is insurance against future stack code."""
+    for d, src in enumerate(stack):
+        if src == slot:
+            want = b.base + d
+            b.emit(R_MOVE, want, src)
+            stack[d] = want
+            b.note_depth(d + 1)
+
+
+def _dest(b: _RBuilder, stack: list[int], i: int) -> tuple[int, int]:
+    """The destination register for the producer at stack pc ``i``.
+
+    When the very next stack instruction is a ``STORE`` (binding a ``let``),
+    the producer writes the let slot directly and the store is skipped —
+    returns ``(slot, 1)``; otherwise the canonical temporary for the current
+    depth — ``(base + depth, 0)``.
+    """
+    nxt = b.insns[i + 1] if i + 1 < len(b.insns) else None
+    if nxt is not None and nxt[0] == STORE and (i + 1) not in b.targets:
+        _flush_slot(b, stack, nxt[1])
+        return nxt[1], 1
+    dst = b.base + len(stack)
+    b.note_depth(len(stack) + 1)
+    return dst, 0
+
+
+def _pin_constants(words: list[int], base: int) -> tuple[list[int], tuple[int, ...]]:
+    """Rewrite ``RK``-tagged source words to pinned constant registers.
+
+    Every distinct pool constant the code reads gets one register above the
+    locals and temporaries (``base`` is the first free number — at least 1,
+    matching the file's minimum size); the returned pool-index tuple, in
+    register order, is what :class:`RCode` pre-fills the frame template
+    with.
+    """
+    base = max(base, 1)
+    words = list(words)
+    reg_of: dict[int, int] = {}
+    pc = 0
+    n = len(words)
+    while pc < n:
+        op = words[pc]
+        for offset in _operand_offsets(op, words, pc, "s"):
+            w = words[pc + offset]
+            if w >= RK:
+                reg = reg_of.get(w)
+                if reg is None:
+                    reg = base + len(reg_of)
+                    reg_of[w] = reg
+                words[pc + offset] = reg
+        pc += instruction_width(op, words, pc)
+    return words, tuple(w - RK for w in reg_of)
+
+
+def fuse_stream(words: list[int]) -> list[int]:
+    """Fuse statically adjacent hot pairs (:data:`R_FUSIONS`) into two-in-one
+    instructions.  A pair is only fused when no branch lands on its second
+    half; branch targets are remapped to the fused layout.  Deterministic,
+    so the two mediator backends (and a reserialized image) fuse
+    identically."""
+    # First pass: instruction starts and the set of branch-target pcs.
+    starts = []
+    targets = set()
+    pc = 0
+    n = len(words)
+    while pc < n:
+        op = words[pc]
+        starts.append(pc)
+        for offset in _operand_offsets(op, words, pc, "t"):
+            targets.add(words[pc + offset])
+        pc += instruction_width(op, words, pc)
+    # Second pass: greedy left-to-right pairing.
+    out: list[int] = []
+    new_of: dict[int, int] = {}
+    index = 0
+    count = len(starts)
+    while index < count:
+        pc = starts[index]
+        op = words[pc]
+        width = instruction_width(op, words, pc)
+        new_of[pc] = len(out)
+        if index + 1 < count:
+            nxt_pc = starts[index + 1]
+            fused = R_FUSIONS.get((op, words[nxt_pc]))
+            if fused is not None and nxt_pc not in targets:
+                nxt_width = instruction_width(words[nxt_pc], words, nxt_pc)
+                out.append(fused)
+                out.extend(words[pc + 1 : pc + width])
+                out.extend(words[nxt_pc + 1 : nxt_pc + nxt_width])
+                index += 2
+                continue
+        out.extend(words[pc : pc + width])
+        index += 1
+    new_of[n] = len(out)
+    # Third pass: remap branch targets.
+    pc = 0
+    n = len(out)
+    while pc < n:
+        op = out[pc]
+        for offset in _operand_offsets(op, out, pc, "t"):
+            out[pc + offset] = new_of[out[pc + offset]]
+        pc += instruction_width(op, out, pc)
+    return out
+
+
+def compile_registers(code: CodeObject) -> RCode:
+    """Convert an optimized stack program into the register IR.
+
+    Every code object of the program is converted over the *same* constant
+    pool; the converted children are attached as ``pool.rcodes`` (parallel
+    to ``pool.codes``, so ``CLOSURE`` operands keep their indices) and the
+    converted entry code is returned.  Conversion is deterministic and
+    accepts any ``-O`` level (stack superinstructions are expanded first;
+    register-level fusion and inline caches come back at ``-O2``).
+    """
+    pool = code.pool
+    pool.rcodes = [_convert_code(child, pool) for child in pool.codes]
+    return _convert_code(code, pool)

@@ -50,6 +50,7 @@ import io
 import os
 import tempfile
 import zlib
+from array import array
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -79,10 +80,18 @@ from ..threesomes.labeled_types import (
 )
 from ..threesomes.runtime import Threesome, intern_labeled, intern_threesome
 from .bytecode import CodeObject, ConstantPool, opcode_fingerprint
+from .regalloc import R_SIGS, RCode, compile_registers, register_fingerprint
 
 #: The on-disk format version.  Bump on any incompatible layout change; the
 #: loader rejects mismatches before reading anything version-dependent.
-FORMAT_VERSION = 1
+#: v2 added the IR marker and optional register-code sections (PR 6); v1
+#: images (stack-only, no IR marker) are rejected with a version mismatch.
+FORMAT_VERSION = 2
+
+#: The IR kinds an image can carry.  ``"register"`` images hold the stack
+#: sections *plus* a packed register stream per code object, so one image
+#: serves both engines.
+IMAGE_IRS = ("stack", "register")
 
 #: Every image starts with these six bytes.
 GRADB_MAGIC = b"GRADB\x00"
@@ -105,14 +114,23 @@ class ImageInfo:
     opt_level: int
     mediator: str
     static_type: Type | None
+    #: Which IR the image carries: ``"stack"`` or ``"register"`` (the latter
+    #: includes the stack sections too).
+    ir: str = "stack"
 
 
 @dataclass
 class LoadedImage:
-    """A deserialized program: the entry code object plus its provenance."""
+    """A deserialized program: the entry code object plus its provenance.
+
+    ``rcode`` is the entry register code when the image carries the register
+    IR (``info.ir == "register"``); the pool's ``rcodes`` list is wired up
+    alongside it, so the entry is directly runnable on the register VM.
+    """
 
     code: CodeObject
     info: ImageInfo
+    rcode: RCode | None = None
 
 
 def source_fingerprint(text: str) -> str:
@@ -513,10 +531,22 @@ def _write_code(out: bytearray, tables: _Tables, obj: CodeObject) -> None:
         _write_varint(out, operand)
 
 
+def _write_rcode(out: bytearray, robj: RCode) -> None:
+    """One register section: register-file size, pinned constants, words."""
+    _write_varint(out, robj.n_regs)
+    _write_varint(out, len(robj.const_regs))
+    for index in robj.const_regs:
+        _write_varint(out, index)
+    _write_varint(out, len(robj.words))
+    for word in robj.words:
+        _write_varint(out, word)
+
+
 def serialize_image(
     code: CodeObject,
     source_hash: str = "",
     static_type: Type | None = None,
+    ir: str = "stack",
 ) -> bytes:
     """Encode a compiled program as ``.gradb`` image bytes.
 
@@ -524,7 +554,14 @@ def serialize_image(
     the source the program was compiled from (see :func:`source_fingerprint`)
     and the program's static type, so a loaded image can report
     ``value : type`` without re-elaborating anything.
+
+    ``ir="register"`` additionally runs the register converter and appends a
+    packed register section per code object (plus the register-opcode
+    fingerprint to the header), so the loaded image is directly runnable on
+    the register VM without re-converting.
     """
+    if ir not in IMAGE_IRS:
+        raise ImageError(f"unknown image IR: {ir!r} (expected one of {IMAGE_IRS})")
     pool = code.pool
     tables = _Tables()
     payload = bytearray()
@@ -547,12 +584,20 @@ def serialize_image(
     for child in pool.codes:
         _write_code(payload, tables, child)
     _write_code(payload, tables, code)
+    if ir == "register":
+        entry_rcode = compile_registers(code)
+        for child_rcode in pool.rcodes:
+            _write_rcode(payload, child_rcode)
+        _write_rcode(payload, entry_rcode)
 
     out = bytearray()
     out.extend(GRADB_MAGIC)
     _write_varint(out, FORMAT_VERSION)
     out.extend(opcode_fingerprint())
     _write_str(out, pool.mediator)
+    _write_str(out, ir)
+    if ir == "register":
+        out.extend(register_fingerprint())
     _write_varint(out, code.opt_level)
     _write_str(out, source_hash)
     _write_signed(out, static_ref)
@@ -825,6 +870,76 @@ def _read_code(reader: _Reader, pool: ConstantPool, names: list[str]) -> CodeObj
     return obj
 
 
+def _read_rcode(reader: _Reader, pool: ConstantPool, obj: CodeObject) -> RCode:
+    """Decode one register section; shape metadata comes from the stack
+    code object it parallels (same name, frees, parameter, opt level)."""
+    n_regs = reader.varint()
+    const_regs = tuple(reader.varint() for _ in range(reader.varint()))
+    for index in const_regs:
+        if index >= len(pool.consts):
+            raise ImageError(f"out-of-range pinned constant in image: {index}")
+    words = array("I", (reader.varint() for _ in range(reader.varint())))
+    try:
+        return RCode(
+            obj.name, words, pool, obj.n_free, n_regs, const_regs,
+            obj.param, obj.local_names, obj.opt_level,
+        )
+    except (OverflowError, ValueError) as exc:
+        raise ImageError(f"malformed register section in image: {exc}") from exc
+
+
+def _validate_registers(robj: RCode) -> None:
+    """Reject register streams that are mis-shaped or index outside their
+    register file or pools (the register twin of :func:`_validate_image`)."""
+    from .regalloc import R_OPCODE_NAMES, instruction_width
+
+    pool = robj.pool
+    words = robj.words
+    n = len(words)
+    n_regs = robj.n_regs
+    kind_limits = {
+        "c": len(pool.coercions),
+        "p": len(pool.prims),
+        "k": len(pool.consts),
+        "L": len(pool.labels),
+        "C": len(pool.codes),
+        "t": n,
+    }
+    pc = 0
+    while pc < n:
+        op = words[pc]
+        sig = R_SIGS.get(op)
+        if sig is None:
+            raise ImageError(f"unknown register opcode in image: {op}")
+        if pc + instruction_width(op, words, pc) > n:
+            raise ImageError(
+                f"truncated register instruction in image: {R_OPCODE_NAMES[op]} at {pc}"
+            )
+        i = pc + 1
+        for ch in sig:
+            w = words[i]
+            if ch == "d" or ch == "s":
+                if w >= n_regs:
+                    raise ImageError(
+                        f"out-of-range register in image: {R_OPCODE_NAMES[op]} r{w}"
+                    )
+            elif ch == "n":
+                for extra in words[i + 1 : i + 1 + w]:
+                    if extra >= n_regs:
+                        raise ImageError(
+                            f"out-of-range register in image: "
+                            f"{R_OPCODE_NAMES[op]} r{extra}"
+                        )
+                i += w
+            else:
+                if w >= kind_limits[ch]:
+                    raise ImageError(
+                        f"out-of-range operand in image: {R_OPCODE_NAMES[op]} {w}"
+                    )
+            i += 1
+        pc = i
+
+
 def deserialize_image(data: bytes, validate: bool = True) -> LoadedImage:
     """Decode ``.gradb`` bytes into a runnable program plus its provenance.
 
@@ -869,6 +984,17 @@ def deserialize_image(data: bytes, validate: bool = True) -> LoadedImage:
     mediator = reader.string()
     if mediator not in ("coercion", "threesome"):
         raise ImageError(f"unknown mediator backend in image: {mediator!r}")
+    ir = reader.string()
+    if ir not in IMAGE_IRS:
+        raise ImageError(f"unknown image IR: {ir!r}")
+    if ir == "register":
+        r_fingerprint = reader.take(8)
+        if r_fingerprint != register_fingerprint():
+            raise ImageError(
+                "register-opcode-set mismatch: the image's register streams "
+                "were packed against a different register instruction set "
+                "than this library executes"
+            )
     opt_level = reader.varint()
     source_hash = reader.string()
     static_ref = reader.signed()
@@ -916,15 +1042,23 @@ def deserialize_image(data: bytes, validate: bool = True) -> LoadedImage:
     for _ in range(reader.varint()):
         pool.add_code(_read_code(reader, pool, names))
     entry_code = _read_code(reader, pool, names)
+    entry_rcode = None
+    if ir == "register":
+        pool.rcodes = [_read_rcode(reader, pool, child) for child in pool.codes]
+        entry_rcode = _read_rcode(reader, pool, entry_code)
     reader.take(4)  # the checksum, already verified
     if not reader.at_end():
         raise ImageError("trailing bytes after image payload")
 
     if validate:
         _validate_image(entry_code)
+        if entry_rcode is not None:
+            for robj in [*pool.rcodes, entry_rcode]:
+                _validate_registers(robj)
     return LoadedImage(
         entry_code,
-        ImageInfo(version, source_hash, opt_level, mediator, static_type),
+        ImageInfo(version, source_hash, opt_level, mediator, static_type, ir),
+        entry_rcode,
     )
 
 
@@ -996,6 +1130,7 @@ def save_image(
     path: str | os.PathLike,
     source_hash: str = "",
     static_type: Type | None = None,
+    ir: str = "stack",
 ) -> Path:
     """Serialize a compiled program to ``path``, atomically.
 
@@ -1004,7 +1139,7 @@ def save_image(
     is built on this function) never observe a half-written image.
     """
     path = Path(path)
-    data = serialize_image(code, source_hash=source_hash, static_type=static_type)
+    data = serialize_image(code, source_hash=source_hash, static_type=static_type, ir=ir)
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:

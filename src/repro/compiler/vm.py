@@ -138,6 +138,23 @@ _FIX_APPLY = _make_fix_apply_code()
 _FIX_APPLY_O2 = optimize(_make_fix_apply_code(), 2)
 
 
+def _fix_apply_o2_for_run() -> CodeObject:
+    """A clone of the ``-O2`` fix-apply stub with *fresh* inline-cache cells.
+
+    The stub itself is immutable and shared, but its cache cells are run
+    state: they fill against runtime mediator identities and feed the run's
+    ``cache_hits``/``cache_misses``.  Sharing them process-wide would make
+    those counters depend on whatever program ran earlier."""
+    template = _FIX_APPLY_O2
+    code = CodeObject(
+        template.name, template.instructions, template.pool, template.n_free,
+        template.n_locals, template.param, template.local_names,
+    )
+    code.opt_level = template.opt_level
+    code.caches = [None] * len(template.instructions)
+    return code
+
+
 #: Mediator backends the VM can execute, keyed by each policy's declared
 #: representation (matching the pool's ``mediator`` field): λS canonical
 #: coercions merged with the memoised ``#``, or threesomes merged with
@@ -186,11 +203,15 @@ class VM:
         code: CodeObject,
         fuel: int = DEFAULT_VM_FUEL,
         pair_counts: dict | None = None,
+        opcode_counts: dict | None = None,
     ) -> MachineOutcome:
         stats = MachineStats()
         profile = pair_counts is not None
         if profile:
             stats.opcode_pairs = pair_counts
+        counts = opcode_counts
+        if counts is not None:
+            stats.opcode_counts = counts
         prev_insns = None
         prev_pc = -2
         prev_op = -1
@@ -211,6 +232,8 @@ class VM:
         is_fun_proxy = policy.is_fun_proxy
         fun_parts = policy.fun_parts
         applications = 0
+        hits = 0  # inline mediator-cache consults resolved by pointer compare
+        misses = 0
 
         stack: list = []  # the operand stack, shared across frames
         frames: list = []  # saved caller frames: (insns, pc, locals, pending, caches)
@@ -221,7 +244,7 @@ class VM:
         caches = code.caches  # per-site inline-cache cells (None below -O2)
         if caches is not None:
             co_actions, co_sizes = _pool_tables(pool, policy)
-            fix_code = _FIX_APPLY_O2
+            fix_code = _fix_apply_o2_for_run()
         else:
             co_actions = co_sizes = ()
             fix_code = _FIX_APPLY
@@ -229,6 +252,8 @@ class VM:
         try:
             for executed in range(fuel):
                 op, operand = insns[pc]
+                if counts is not None:
+                    counts[op] = counts.get(op, 0) + 1
                 if profile:
                     # Count *statically adjacent* dynamic pairs only: those
                     # are the pairs a peephole pass could fuse.
@@ -260,6 +285,7 @@ class VM:
                             # Inline-cache hit: dom/cod and the dom action
                             # resolved by one pointer compare.
                             applications += 1
+                            hits += 1
                             dom = cell[1]
                             act = cell[3]
                             if act == 1:  # ACT_WRAP
@@ -273,6 +299,8 @@ class VM:
                             fun = fun.under
                         else:
                             first = caches is not None
+                            if first:
+                                misses += 1
                             while fun.__class__ is MProxy:
                                 mediator = fun.mediator
                                 if not is_fun_proxy(mediator):
@@ -322,9 +350,12 @@ class VM:
                                     and result_co is cell[4]
                                     and pending is cell[5]
                                 ):
+                                    hits += 1
                                     stats.replace_mediator(cell[7], cell[8])
                                     pending = cell[6]
                                 else:
+                                    if cell is not None:
+                                        misses += 1
                                     merged = compose_pending(result_co, pending)
                                     size_in = co_size(pending)
                                     size_merged = co_size(merged)
@@ -372,9 +403,11 @@ class VM:
                             cell = caches[pc - 1]
                             mediator = value.mediator
                             if cell is not None and mediator is cell[0]:
+                                hits += 1
                                 composed = cell[1]
                                 act = cell[2]
                             else:
+                                misses += 1
                                 composed = compose_pending(mediator, coercions[coercion_index])
                                 act = classify(composed)
                                 caches[pc - 1] = [mediator, composed, act]
@@ -474,9 +507,11 @@ class VM:
                     elif caches is not None:
                         cell = caches[pc - 1]
                         if cell is not None and pending is cell[0]:
+                            hits += 1
                             stats.replace_mediator(cell[2], cell[3])
                             pending = cell[1]
                         else:
+                            misses += 1
                             merged = compose_pending(coercion, pending)
                             size_in = co_size(pending)
                             size_merged = co_size(merged)
@@ -504,9 +539,11 @@ class VM:
                         if caches is not None and value.__class__ is not MProxy:
                             cell = caches[pc - 1]
                             if cell is not None and pending is cell[0]:
+                                hits += 1
                                 act = cell[1]
                                 stats.pop_mediator(cell[2])
                             else:
+                                misses += 1
                                 act = classify(pending)
                                 size = co_size(pending)
                                 caches[pc - 1] = [pending, act, size]
@@ -521,6 +558,8 @@ class VM:
                     if not frames:
                         stats.steps = executed + 1
                         stats.mediator_applications = applications
+                        stats.cache_hits = hits
+                        stats.cache_misses = misses
                         return MachineOutcome("value", value=value, stats=stats.snapshot())
                     insns, pc, locals_, pending, caches = frames.pop()
                     stack.append(value)
@@ -565,10 +604,14 @@ class VM:
         except MachineBlame as blame:
             stats.steps = executed + 1
             stats.mediator_applications = applications
+            stats.cache_hits = hits
+            stats.cache_misses = misses
             return MachineOutcome("blame", label=blame.label, stats=stats.snapshot())
 
         stats.steps = fuel
         stats.mediator_applications = applications
+        stats.cache_hits = hits
+        stats.cache_misses = misses
         return MachineOutcome("timeout", stats=stats.snapshot())
 
 
@@ -600,11 +643,15 @@ def run_on_vm(
     fuel: int = DEFAULT_VM_FUEL,
     mediator: str = "coercion",
     opt_level: int = DEFAULT_OPT_LEVEL,
+    opcode_counts: dict | None = None,
 ) -> MachineOutcome:
     """Compile a λB term to bytecode and run it on the VM (λS semantics)."""
-    return THE_VM.run(compile_term(term_b, mediator=mediator, opt_level=opt_level), fuel)
+    return THE_VM.run(compile_term(term_b, mediator=mediator, opt_level=opt_level),
+                      fuel, opcode_counts=opcode_counts)
 
 
-def run_code(code: CodeObject, fuel: int = DEFAULT_VM_FUEL) -> MachineOutcome:
+def run_code(
+    code: CodeObject, fuel: int = DEFAULT_VM_FUEL, opcode_counts: dict | None = None
+) -> MachineOutcome:
     """Run an already-compiled program on the shared VM instance."""
-    return THE_VM.run(code, fuel)
+    return THE_VM.run(code, fuel, opcode_counts=opcode_counts)

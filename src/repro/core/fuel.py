@@ -21,6 +21,14 @@ from __future__ import annotations
 #: Bytecode-VM fuel, in VM instructions (the cheapest step unit).
 DEFAULT_VM_FUEL = 20_000_000
 
+#: Register-VM fuel, in register instructions.  One register instruction
+#: does the work of roughly two stack instructions (operands ride in the
+#: instruction; fused pairs are one dispatch), so the same budget buys the
+#: rvm engine *more* program than the stack VM — deliberately: fuel bounds
+#: patience, not work, and the two engines' timeouts should agree on the
+#: programs the oracles compare.
+DEFAULT_RVM_FUEL = 20_000_000
+
 #: CEK-machine fuel, in machine transitions.
 DEFAULT_MACHINE_FUEL = 5_000_000
 

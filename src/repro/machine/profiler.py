@@ -36,6 +36,14 @@ class MachineStats:
     #: when the VM runs with pair profiling on (``(op1, op2) -> count``).
     #: This is the measurement behind the optimizer's superinstruction set.
     opcode_pairs: dict | None = field(default=None, repr=False)
+    #: Per-opcode dispatch counts (``op -> count``), filled only when a VM
+    #: runs with ``--profile`` on.  Keys are opcode numbers of the running
+    #: IR (stack or register); the CLI maps them to names before printing.
+    opcode_counts: dict | None = field(default=None, repr=False)
+    #: Inline mediator-cache consults that hit/missed, counted by the VMs at
+    #: every cache-cell consult (``-O2`` only; both stay 0 below that).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def note_depth(self, depth: int) -> None:
         if depth > self.max_kont_depth:
@@ -72,4 +80,9 @@ class MachineStats:
         }
         if self.opcode_pairs is not None:
             result["opcode_pairs"] = dict(self.opcode_pairs)
+        if self.cache_hits or self.cache_misses:
+            result["cache_hits"] = self.cache_hits
+            result["cache_misses"] = self.cache_misses
+        if self.opcode_counts is not None:
+            result["opcode_counts"] = dict(self.opcode_counts)
         return result

@@ -276,8 +276,9 @@ def check_vm_oracle(
     subst_fuel: int = 100_000,
     strict_timeouts: bool = False,
     check_subst: bool = True,
+    check_rvm: bool = True,
 ) -> BisimulationReport:
-    """Check the bytecode VM against its oracles on one λB program.
+    """Check the bytecode VMs against their oracles on one λB program.
 
     Exactly as PR 1 kept the substitution reducers as the machine's oracle,
     the CEK machine is the VM's oracle: the program is compiled to bytecode
@@ -287,6 +288,16 @@ def check_vm_oracle(
     timeout.  As in :func:`check_engine_oracle`, the fuels are in different
     units, so a timeout on only one side is inconclusive rather than a
     failure unless ``strict_timeouts``.
+
+    The register VM (``repro.compiler.rvm``) is under the same oracle
+    (unless ``check_rvm=False``): the same program register-compiled must
+    agree with the stack VM at ``-O2`` *and* at ``-O0``, and — when neither
+    run times out — must reproduce the stack VM's pending-mediator
+    footprint exactly: register allocation moves operands out of the
+    operand stack, never a mediator out of its single pending slot.  (The
+    two VMs' step units differ — a register instruction does the work of
+    about two stack instructions — so one-sided timeouts between them are
+    always inconclusive.)
 
     Additionally sanity-checks the VM's space accounting: the run must never
     report more pending coercions than live frames
@@ -342,6 +353,31 @@ def check_vm_oracle(
             term_b, None,
         )
 
+    if check_rvm:
+        from ..compiler import run_on_rvm
+
+        for level, stack_outcome in ((2, vm_outcome), (0, unopt_outcome)):
+            rvm_outcome = run_on_rvm(term_b, vm_fuel, opt_level=level)
+            steps_r = (rvm_outcome.stats or {}).get("steps", 0)
+            steps_s = (stack_outcome.stats or {}).get("steps", 0)
+            report = _compare_outcomes(
+                rvm_outcome, stack_outcome, steps_r, steps_s,
+                f"rVM/-O{level}", f"VM/-O{level}", term_b, strict_timeouts=False,
+            )
+            if not report.ok:
+                return report
+            if not (rvm_outcome.is_timeout or stack_outcome.is_timeout):
+                rstats = rvm_outcome.stats or {}
+                sstats = stack_outcome.stats or {}
+                for key in ("max_pending_mediators", "max_pending_size"):
+                    if rstats.get(key, 0) != sstats.get(key, 0):
+                        return BisimulationReport(
+                            False, steps_r, steps_s,
+                            f"register VM changed the space profile at -O{level}: "
+                            f"{key} {rstats.get(key, 0)} vs stack VM's {sstats.get(key, 0)}",
+                            term_b, None,
+                        )
+
     report = _compare_outcomes(vm_outcome, machine_outcome, steps_vm, steps_m,
                                "VM", "machine", term_b, strict_timeouts)
     if not report.ok or not check_subst:
@@ -367,6 +403,7 @@ def check_mediator_oracle(
     machine_fuel: int = 2_000_000,
     vm_fuel: int = 10_000_000,
     check_vm: bool = True,
+    check_rvm: bool = True,
 ) -> BisimulationReport:
     """Check the threesome mediator backend against the coercion backend.
 
@@ -390,6 +427,12 @@ def check_mediator_oracle(
     shrink — the optimizer's rewrites (identity elision, static
     pre-composition, fusion, inline caches) are mediator-representation
     independent and this is where that is enforced.
+
+    The register VM (unless ``check_rvm=False``) is held to the same
+    standard: both backends register-compiled must agree with each other
+    (strictly — within the rvm the two backends take identical dispatch
+    counts, exactly as within the stack VM) and with the stack VM's
+    coercion backend, with equal pending-mediator footprints throughout.
     """
     from ..compiler import run_on_vm
     from ..machine import run_on_machine
@@ -450,6 +493,42 @@ def check_mediator_oracle(
                 f"{pending(optimized)} vs -O0's {pending(unopt)}",
                 term_b, None,
             )
+    if check_rvm:
+        from ..compiler import run_on_rvm
+
+        coercion_r = run_on_rvm(term_b, vm_fuel, mediator="coercion")
+        threesome_r = run_on_rvm(term_b, vm_fuel, mediator="threesome")
+        report = _compare_outcomes(
+            coercion_r, threesome_r, steps(coercion_r), steps(threesome_r),
+            "rVM/coercion", "rVM/threesome", term_b, strict_timeouts=True,
+        )
+        if not report.ok:
+            return report
+        if pending(coercion_r) != pending(threesome_r):
+            return BisimulationReport(
+                False, steps(coercion_r), steps(threesome_r),
+                f"register VM pending-mediator footprints differ: "
+                f"coercion {pending(coercion_r)} vs threesome {pending(threesome_r)}",
+                term_b, None,
+            )
+        # Register against stack, per backend (different step units, so
+        # one-sided timeouts are inconclusive; footprints compare only when
+        # both sides finished).
+        for backend, rvm_o, vm_o in (("coercion", coercion_r, coercion_v),
+                                     ("threesome", threesome_r, threesome_v)):
+            report = _compare_outcomes(
+                rvm_o, vm_o, steps(rvm_o), steps(vm_o),
+                f"rVM/{backend}", f"VM/{backend}", term_b, strict_timeouts=False,
+            )
+            if not report.ok:
+                return report
+            if not (rvm_o.is_timeout or vm_o.is_timeout) and pending(rvm_o) != pending(vm_o):
+                return BisimulationReport(
+                    False, steps(rvm_o), steps(vm_o),
+                    f"register VM changed the {backend} backend's footprint: "
+                    f"{pending(rvm_o)} vs stack VM's {pending(vm_o)}",
+                    term_b, None,
+                )
     # Cross-engine: the threesome VM against the coercion machine (different
     # step units, so a one-sided timeout is inconclusive as usual).
     return _compare_outcomes(

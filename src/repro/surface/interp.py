@@ -41,7 +41,12 @@ from dataclasses import dataclass
 from ..compiler.opt import DEFAULT_OPT_LEVEL, OPT_LEVELS
 from ..compiler.vm import run_on_vm
 from ..core.errors import UsageError
-from ..core.fuel import DEFAULT_MACHINE_FUEL, DEFAULT_SUBST_FUEL, DEFAULT_VM_FUEL
+from ..core.fuel import (
+    DEFAULT_MACHINE_FUEL,
+    DEFAULT_RVM_FUEL,
+    DEFAULT_SUBST_FUEL,
+    DEFAULT_VM_FUEL,
+)
 from ..core.labels import Label
 from ..core.terms import Term
 from ..core.types import Type
@@ -53,16 +58,21 @@ from ..translate import b_to_c, c_to_s
 from .cast_insertion import elaborate_program
 from .parser import parse_program
 
-#: The three execution engines: the bytecode VM, the CEK machine, and the
-#: substitution-based reference oracle.  MEDIATORS (re-exported from
-#: :mod:`repro.machine`) is the second axis: the pending-mediator
-#: representations of the λS machine and the VM.
-ENGINES = ("vm", "machine", "subst")
+#: The four execution engines: the stack bytecode VM, the register VM
+#: (packed-stream dispatch over the register IR — the fastest engine), the
+#: CEK machine, and the substitution-based reference oracle.  MEDIATORS
+#: (re-exported from :mod:`repro.machine`) is the second axis: the
+#: pending-mediator representations of the λS machine and both VMs.
+ENGINES = ("vm", "rvm", "machine", "subst")
 
-#: Default fuel per engine, in that engine's own step unit.  All three come
+#: The two compiled engines: λS only, ``opt_level`` applies, cacheable.
+VM_ENGINES = ("vm", "rvm")
+
+#: Default fuel per engine, in that engine's own step unit.  All four come
 #: from :mod:`repro.core.fuel`, the single source of fuel defaults.
 DEFAULT_FUEL = {
     "vm": DEFAULT_VM_FUEL,
+    "rvm": DEFAULT_RVM_FUEL,
     "machine": DEFAULT_MACHINE_FUEL,
     "subst": DEFAULT_SUBST_FUEL,
 }
@@ -121,9 +131,10 @@ def _resolve_engine(engine: str | None, use_machine: bool | None) -> str:
     return resolved
 
 
-def _validate_vm_knobs(calculus: str, mediator: str, opt_level: int) -> None:
-    """The vm engine's shared argument validation (run_term and the warm
-    cache path of run_source raise identical errors by construction)."""
+def _validate_vm_knobs(calculus: str, mediator: str, opt_level: int,
+                       engine: str = "vm") -> None:
+    """The compiled engines' shared argument validation (run_term and the
+    warm cache path of run_source raise identical errors by construction)."""
     if mediator not in MEDIATORS:
         raise UsageError(f"unknown mediator {mediator!r}; expected one of {MEDIATORS}")
     if opt_level not in OPT_LEVELS:
@@ -132,7 +143,7 @@ def _validate_vm_knobs(calculus: str, mediator: str, opt_level: int) -> None:
         )
     if calculus != "S":
         raise UsageError(
-            f"engine 'vm' implements λS only (requested calculus {calculus!r}); "
+            f"engine {engine!r} implements λS only (requested calculus {calculus!r}); "
             "use engine='machine' for λB or λC"
         )
 
@@ -147,35 +158,52 @@ def run_source(
     opt_level: int = DEFAULT_OPT_LEVEL,
     cache: bool = False,
     cache_dir: str | None = None,
+    opcode_counts: dict | None = None,
 ) -> RunResult:
     """Run a surface program and report its outcome.
 
-    With ``cache=True`` (vm engine only) the compiled bytecode image is
+    With ``cache=True`` (vm/rvm engines only) the compiled bytecode image is
     looked up in — and stored to — the on-disk compile cache
     (:mod:`repro.compiler.cache`), keyed on the *source text*: a warm run
     deserializes the ``.gradb`` image and skips parsing, type checking,
     elaboration, lowering, and optimization entirely.  The program's static
     type rides along in the image's provenance, so even the reported
-    ``value : type`` needs no front end.
+    ``value : type`` needs no front end.  (The rvm engine caches register
+    images, under their own key.)
+
+    ``opcode_counts`` (vm/rvm engines) is an optional dict the run fills
+    with per-opcode dispatch counts — the ``--profile`` hook.
     """
-    if cache and _resolve_engine(engine, use_machine) == "vm":
+    resolved = _resolve_engine(engine, use_machine)
+    if cache and resolved in VM_ENGINES:
         from ..compiler.cache import cache_lookup
         from ..compiler.serialize import source_fingerprint
-        from ..compiler.vm import run_code
 
-        _validate_vm_knobs(calculus.upper(), mediator, opt_level)
+        _validate_vm_knobs(calculus.upper(), mediator, opt_level, resolved)
         source_hash = source_fingerprint(source)
-        image = cache_lookup(source_hash, opt_level, mediator, cache_dir)
+        ir = "register" if resolved == "rvm" else "stack"
+        image = cache_lookup(source_hash, opt_level, mediator, cache_dir, ir)
         if image is not None:
-            outcome = run_code(image.code, fuel if fuel is not None else DEFAULT_FUEL["vm"])
-            return _from_machine_outcome(outcome, image.info.static_type, "S", "vm", mediator)
+            run_fuel = fuel if fuel is not None else DEFAULT_FUEL[resolved]
+            if resolved == "rvm":
+                from ..compiler.rvm import run_rcode
+
+                outcome = run_rcode(image.rcode, run_fuel, opcode_counts=opcode_counts)
+            else:
+                from ..compiler.vm import run_code
+
+                outcome = run_code(image.code, run_fuel, opcode_counts=opcode_counts)
+            return _from_machine_outcome(outcome, image.info.static_type, "S",
+                                         resolved, mediator)
         term, ty = compile_source(source)
-        return run_term(term, ty, calculus=calculus, fuel=fuel, engine="vm",
+        return run_term(term, ty, calculus=calculus, fuel=fuel, engine=resolved,
                         mediator=mediator, opt_level=opt_level,
-                        cache=True, cache_dir=cache_dir, source_hash=source_hash)
+                        cache=True, cache_dir=cache_dir, source_hash=source_hash,
+                        opcode_counts=opcode_counts)
     term, ty = compile_source(source)
     return run_term(term, ty, calculus=calculus, use_machine=use_machine,
-                    fuel=fuel, engine=engine, mediator=mediator, opt_level=opt_level)
+                    fuel=fuel, engine=engine, mediator=mediator, opt_level=opt_level,
+                    opcode_counts=opcode_counts)
 
 
 def run_term(
@@ -190,15 +218,19 @@ def run_term(
     cache: bool = False,
     cache_dir: str | None = None,
     source_hash: str | None = None,
+    opcode_counts: dict | None = None,
 ) -> RunResult:
     """Run an elaborated λB term on the chosen calculus, engine, and mediator.
 
     ``opt_level`` is the bytecode optimizer's ``-O`` level (0/1/2, default
-    2); it shapes what the **vm** engine executes and is ignored by the tree
-    interpreters, which have no compilation stage.  ``cache=True`` routes
-    the vm engine's compilation through the on-disk compile cache (keyed on
-    ``source_hash`` when given, otherwise on the pretty-printed term); the
-    tree interpreters ignore it for the same reason they ignore ``opt_level``.
+    2); it shapes what the compiled engines (**vm**, **rvm**) execute and is
+    ignored by the tree interpreters, which have no compilation stage.
+    ``cache=True`` routes a compiled engine's compilation through the
+    on-disk compile cache (keyed on ``source_hash`` when given, otherwise on
+    the pretty-printed term; the rvm engine caches register images under
+    their own key); the tree interpreters ignore it for the same reason they
+    ignore ``opt_level``.  ``opcode_counts`` (compiled engines) is an
+    optional dict filled with per-opcode dispatch counts.
     """
     calculus = calculus.upper()
     engine = _resolve_engine(engine, use_machine)
@@ -211,20 +243,35 @@ def run_term(
     if fuel is None:
         fuel = DEFAULT_FUEL[engine]
 
-    if engine == "vm":
-        _validate_vm_knobs(calculus, mediator, opt_level)
+    if engine in VM_ENGINES:
+        _validate_vm_knobs(calculus, mediator, opt_level, engine)
         if cache:
             from ..compiler.cache import cached_compile
-            from ..compiler.vm import run_code
 
+            ir = "register" if engine == "rvm" else "stack"
             found = cached_compile(term, source_hash=source_hash, static_type=ty,
                                    mediator=mediator, opt_level=opt_level,
-                                   cache_dir=cache_dir)
+                                   cache_dir=cache_dir, ir=ir)
             if ty is None:
                 ty = found.image.info.static_type
-            outcome = run_code(found.image.code, fuel)
+            if engine == "rvm":
+                from ..compiler.rvm import run_rcode
+
+                outcome = run_rcode(found.image.rcode, fuel,
+                                    opcode_counts=opcode_counts)
+            else:
+                from ..compiler.vm import run_code
+
+                outcome = run_code(found.image.code, fuel,
+                                   opcode_counts=opcode_counts)
+        elif engine == "rvm":
+            from ..compiler.rvm import run_on_rvm
+
+            outcome = run_on_rvm(term, fuel, mediator=mediator, opt_level=opt_level,
+                                 opcode_counts=opcode_counts)
         else:
-            outcome = run_on_vm(term, fuel, mediator=mediator, opt_level=opt_level)
+            outcome = run_on_vm(term, fuel, mediator=mediator, opt_level=opt_level,
+                                opcode_counts=opcode_counts)
         return _from_machine_outcome(outcome, ty, calculus, engine, mediator)
 
     if engine == "machine":

@@ -420,6 +420,7 @@ class TestProfilingAndDefaults:
         assert reduction_b.DEFAULT_FUEL is fuel.DEFAULT_REDUCTION_FUEL
         assert interp.DEFAULT_FUEL == {
             "vm": fuel.DEFAULT_VM_FUEL,
+            "rvm": fuel.DEFAULT_RVM_FUEL,
             "machine": fuel.DEFAULT_MACHINE_FUEL,
             "subst": fuel.DEFAULT_SUBST_FUEL,
         }

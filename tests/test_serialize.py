@@ -137,7 +137,7 @@ class TestRoundTrip:
         path = save_image(code, tmp_path / "square.gradb", static_type=ty)
         image = load_image(path)
         text = disassemble_image(image)
-        assert "; gradb image v1" in text
+        assert f"; gradb image v{FORMAT_VERSION}" in text
         assert parse_disassembly(text) == parse_disassembly(disassemble(code))
 
     def test_fresh_process_reproduces_the_run(self, tmp_path):
