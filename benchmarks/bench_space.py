@@ -32,8 +32,26 @@ import harness
 
 from repro.gen.programs import even_odd_all_typed, even_odd_boundary, even_odd_expected
 from repro.machine import run_on_machine
+from repro.obs import SpaceTimeline, tracing
 
 SIZES = (50, 200, 800)
+
+
+def _timeline_series(n: int, calculus: str) -> dict:
+    """One traced run's ``steps × pending`` series — the space figure as data.
+
+    Sanity-checks the tracing contract while it is at it: the traced run's
+    outcome and stats must equal the untraced run's, and the series maxima
+    must equal the stats' high-water marks.
+    """
+    untraced = run_on_machine(even_odd_boundary(n), calculus)
+    timeline = SpaceTimeline()
+    with tracing(timeline):
+        outcome = run_on_machine(even_odd_boundary(n), calculus)
+    assert outcome.stats == untraced.stats, "tracing perturbed the run"
+    series = timeline.series()
+    assert series["max_pending_mediators"] == outcome.stats["max_pending_mediators"]
+    return series
 
 
 def build_suite(repeat: int) -> harness.Suite:
@@ -51,6 +69,17 @@ def build_suite(repeat: int) -> harness.Suite:
                 max_pending_size=stats["max_pending_size"],
                 max_kont_depth=stats["max_kont_depth"],
                 steps=stats["steps"],
+            )
+            # The exported timeline: bounded for λS, linear for λB/λC —
+            # the paper's figure, reproducible straight from the JSON.
+            series = _timeline_series(n, calculus)
+            if calculus == "S":
+                assert series["max_pending_mediators"] <= 4
+            else:
+                assert series["max_pending_mediators"] >= n
+            suite.record(
+                f"timeline/even_odd/{calculus}/n{n}",
+                calculus=calculus, n=n, timeline=series,
             )
         control = run_on_machine(even_odd_all_typed(n), "B")
         suite.record(

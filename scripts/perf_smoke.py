@@ -36,6 +36,10 @@ from repro.compiler import compile_registers, compile_term, run_code, run_rcode 
 SLIP_TOLERANCE = 0.25
 REPEAT = 5
 
+#: The observability hooks' budget: with no tracer active, the vm/rvm hot
+#: loops may not be more than 2% slower than the committed baseline.
+TRACE_OVERHEAD_TOLERANCE = 0.02
+
 
 def _best(code, runner=run_code, repeat: int = REPEAT) -> float:
     runner(code)  # warmup
@@ -103,7 +107,81 @@ def main() -> int:
               f"{committed:.2f}x (floor {floor:.2f}x): {verdict}")
         if current < floor:
             status = 1
+    status |= trace_overhead_gate(by_name, fastest)
     return status
+
+
+def trace_overhead_gate(by_name: dict, fastest: list[str]) -> int:
+    """Gate: untraced runs may not pay for the observability hooks.
+
+    Every mediator lifecycle site in the vm/rvm dispatch loops now carries
+    an ``if tracer is not None`` hook; with no tracer active that test must
+    cost ~nothing.  Wall clock is not comparable across machines, so the
+    current run times are normalized by a *compile-time calibration ratio*:
+    compilation has no hooks at all, so ``compile_now / compile_committed``
+    measures only how this box compares to the one that recorded the
+    baseline.  The calibrated slowdown
+
+        (run_now / run_committed) / (compile_now / compile_committed)
+
+    is geomeaned over {vm -O2, rvm -O2} × the two fastest workloads and
+    gated at ``TRACE_OVERHEAD_TOLERANCE``.  An enabled-tracing run (ring
+    buffer sink) is also measured, informationally — it is allowed to cost.
+    """
+    from repro.obs import RingBufferSink, tracing
+
+    calib_names = [n for n in VM_WORKLOADS if f"compile/{n}" in by_name]
+    if not calib_names:
+        print("perf-smoke: no compile/* baseline entries; skipping trace gate")
+        return 0
+
+    def compile_all() -> None:
+        for name in calib_names:
+            compile_term(VM_WORKLOADS[name][0], opt_level=2)
+
+    compile_all()  # warmup
+    timings = []
+    for _ in range(REPEAT):
+        start = time.perf_counter()
+        compile_all()
+        timings.append(time.perf_counter() - start)
+    compile_now = min(timings)
+    compile_committed = sum(by_name[f"compile/{n}"]["best_s"] for n in calib_names)
+    calibration = compile_now / compile_committed
+
+    slowdowns = []
+    for name in fastest:
+        term_b = VM_WORKLOADS[name][0]
+        code_o2 = compile_term(term_b, opt_level=2)
+        rcode_o2 = compile_registers(code_o2)
+        for label, code, runner in (
+            (f"vm/S/O2/{name}", code_o2, run_code),
+            (f"rvm/S/O2/{name}", rcode_o2, run_rcode),
+        ):
+            committed = by_name.get(label)
+            if committed is None:
+                continue
+            now = _best(code, runner=runner)
+            slowdowns.append((now / committed["best_s"]) / calibration)
+
+    if not slowdowns:
+        print("perf-smoke: no vm/rvm O2 baseline entries; skipping trace gate")
+        return 0
+    slowdown = geomean(slowdowns)
+    ceiling = 1 + TRACE_OVERHEAD_TOLERANCE
+    verdict = "ok" if slowdown <= ceiling else "REGRESSION"
+    print(f"perf-smoke: disabled-tracing slowdown geomean {slowdown:.3f}x "
+          f"(calibration {calibration:.2f}x, ceiling {ceiling:.2f}x): {verdict}")
+
+    # Informational: what tracing costs when it is actually on.
+    name = fastest[0]
+    rcode = compile_registers(compile_term(VM_WORKLOADS[name][0], opt_level=2))
+    untraced = _best(rcode, runner=run_rcode)
+    with tracing(RingBufferSink()):
+        traced = _best(rcode, runner=run_rcode)
+    print(f"perf-smoke: enabled-tracing (ring buffer) overhead on {name}: "
+          f"{traced / untraced:.2f}x (informational)")
+    return 0 if slowdown <= ceiling else 1
 
 
 if __name__ == "__main__":

@@ -187,6 +187,8 @@ def run_batch(
     use_cache: bool = True,
     cache_dir: str | None = None,
     on_result: Callable[[dict], None] | None = None,
+    metrics=None,
+    trace_sink=None,
 ) -> tuple[list[dict], dict]:
     """Compile a corpus once and execute it across a worker pool.
 
@@ -196,6 +198,16 @@ def run_batch(
     is invoked with each result as it completes — with ``workers > 1``
     completion order is nondeterministic, so every result repeats its
     program name.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) aggregates
+    the shard results in the coordinating process — outcome and cache
+    counters plus ``batch.{compile_s,load_s,run_s}`` histograms (fixed
+    buckets, so shard timings fold in by plain addition regardless of which
+    worker produced them) — and its snapshot is embedded in the aggregate
+    (``aggregate["metrics"]``), never as an extra stream line.
+    ``trace_sink`` traces every program's run into one sink; tracing forces
+    inline execution (the tracer is process-global state a pool cannot
+    share), with each run's ``run_start`` carrying the program name.
     """
     wall_start = time.perf_counter()
     corpus = discover_programs(paths)
@@ -204,9 +216,22 @@ def run_batch(
     results: list[dict] = []
     jobs: list[tuple[str, bytes, int]] = []
     compile_meta: dict[str, dict] = {}
+
+    def note(result: dict) -> None:
+        if metrics is None:
+            return
+        metrics.counter(f"batch.outcome.{result.get('kind', 'error')}").inc()
+        status = result.get("cache")
+        if status is not None:
+            metrics.counter(f"batch.cache.{status}").inc()
+        for key in ("compile_s", "load_s", "run_s"):
+            if key in result:
+                metrics.histogram(f"batch.{key}").observe(result[key])
+
     for path in corpus:
         data, meta = _compile_one(path, mediator, opt_level, use_cache, cache_dir)
         if data is None:
+            note(meta)
             results.append(meta)
             if on_result is not None:
                 on_result(meta)
@@ -216,11 +241,24 @@ def run_batch(
 
     def finish(result: dict) -> None:
         result = {**compile_meta[result["program"]], **result}
+        note(result)
         results.append(result)
         if on_result is not None:
             on_result(result)
 
-    if workers <= 1 or len(jobs) <= 1:
+    if trace_sink is not None:
+        from ..obs.trace import Tracer, activate, deactivate
+
+        tracer = Tracer(trace_sink)
+        activate(tracer)
+        try:
+            for job in jobs:
+                tracer.program = job[0]
+                finish(_execute_job(job))
+        finally:
+            deactivate()
+            trace_sink.close()
+    elif workers <= 1 or len(jobs) <= 1:
         for job in jobs:
             finish(_execute_job(job))
     else:
@@ -231,8 +269,10 @@ def run_batch(
                 finish(result)
 
     aggregate = aggregate_results(results)
-    aggregate["workers"] = workers
+    aggregate["workers"] = 1 if trace_sink is not None else workers
     aggregate["wall_s"] = time.perf_counter() - wall_start
+    if metrics is not None:
+        aggregate["metrics"] = metrics.snapshot()
     return results, aggregate
 
 

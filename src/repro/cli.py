@@ -14,8 +14,14 @@ Installed as ``repro-gradual``.  Subcommands:
   no front end at all — on the engine its IR fixes (vm for stack images,
   rvm for register images).  The compiled engines compile through the
   on-disk compile cache (``~/.cache/repro-gradual``) unless ``--no-cache``;
-  ``--profile`` dumps per-opcode dispatch counts and inline-cache hit
-  rates as JSON on stderr.
+  ``--profile`` dumps dispatch counts, inline-cache hit rates, the space
+  profile, and pipeline-phase timings as JSON on stderr; ``--trace FILE``
+  records mediator lifecycle events as JSON lines; ``--metrics FILE``
+  writes the metrics snapshot.
+* ``trace FILE``      — run with mediator tracing on: event summary, space
+  maxima, optional ``--timeline`` series and ``-o`` event export (JSON
+  lines or ``--format chrome`` for Perfetto), and — on blame — the
+  provenance trail of compositions that produced the failing mediator.
 * ``compile FILE``    — lower to λS bytecode; print the disassembly and
   constant pool (``--ir register`` prints the packed register streams
   instead), or with ``-o IMAGE.gradb`` serialize a versioned binary image
@@ -103,33 +109,51 @@ def _print_result(result, show_space: bool) -> int:
     return _OUTCOME_EXIT_CODES[result.kind]
 
 
-def _emit_profile(counts: dict, result, engine: str) -> None:
-    """Dump one JSON object of dispatch counts and inline-cache hit rates to
-    stderr — stderr so it composes with the result (and exit code) on stdout."""
+def _emit_profile(counts: dict | None, result, engine: str, metrics=None) -> None:
+    """Dump one JSON object of dispatch counts, inline-cache hit rates, the
+    space profile, and the metrics snapshot to stderr — stderr so it composes
+    with the result (and exit code) on stdout.
+
+    ``counts`` is ``None`` for the machine engine, which has no bytecode:
+    the ``dispatches``/``opcodes`` keys are the only VM-specific part of the
+    profile; space counters and pipeline phases apply to every engine.
+    """
     import json
 
-    if engine == "rvm":
-        from .compiler.regalloc import R_OPCODE_NAMES as names
-    else:
-        from .compiler.bytecode import OPCODE_NAMES as names
-    stats = result.space_stats or {}
-    hits = stats.get("cache_hits", 0)
-    misses = stats.get("cache_misses", 0)
-    consults = hits + misses
-    profile = {
-        "engine": engine,
-        "dispatches": sum(counts.values()),
-        "opcodes": {
+    profile: dict = {"engine": engine}
+    if counts is not None:
+        if engine == "rvm":
+            from .compiler.regalloc import R_OPCODE_NAMES as names
+        else:
+            from .compiler.bytecode import OPCODE_NAMES as names
+        profile["dispatches"] = sum(counts.values())
+        profile["opcodes"] = {
             names[op]: n
             for op, n in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
-        },
-        "inline_cache": {
+        }
+    stats = result.space_stats or {}
+    if counts is not None:
+        hits = stats.get("cache_hits", 0)
+        misses = stats.get("cache_misses", 0)
+        consults = hits + misses
+        profile["inline_cache"] = {
             "hits": hits,
             "misses": misses,
             "hit_rate": round(hits / consults, 4) if consults else None,
-        },
-    }
+        }
+    profile["space"] = {k: v for k, v in stats.items() if isinstance(v, int)}
+    if metrics is not None:
+        profile["metrics"] = metrics.snapshot()
     print(json.dumps(profile), file=sys.stderr, flush=True)
+
+
+def _write_metrics(metrics, path: str) -> None:
+    """Write a metrics snapshot as one JSON object to ``path``."""
+    import json
+
+    with open(path, "w") as handle:
+        json.dump(metrics.snapshot(), handle, sort_keys=True)
+        handle.write("\n")
 
 
 def _run_image(args: argparse.Namespace) -> int:
@@ -165,16 +189,40 @@ def _run_image(args: argparse.Namespace) -> int:
             "provenance)"
         )
     counts: dict | None = {} if args.profile else None
-    if engine == "rvm":
-        fuel = args.fuel if args.fuel is not None else DEFAULT_RVM_FUEL
-        outcome = run_rcode(image.rcode, fuel, opcode_counts=counts)
-    else:
-        fuel = args.fuel if args.fuel is not None else DEFAULT_VM_FUEL
-        outcome = run_code(image.code, fuel, opcode_counts=counts)
+    metrics = None
+    if args.profile or args.metrics:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    from .obs.metrics import phase, record_run
+
+    with _maybe_tracing(args.trace, args.file):
+        if engine == "rvm":
+            fuel = args.fuel if args.fuel is not None else DEFAULT_RVM_FUEL
+            with phase(metrics, "run"):
+                outcome = run_rcode(image.rcode, fuel, opcode_counts=counts)
+        else:
+            fuel = args.fuel if args.fuel is not None else DEFAULT_VM_FUEL
+            with phase(metrics, "run"):
+                outcome = run_code(image.code, fuel, opcode_counts=counts)
+    record_run(metrics, outcome.kind, outcome.stats, engine)
     result = _from_machine_outcome(outcome, info.static_type, "S", engine, info.mediator)
-    if counts is not None:
-        _emit_profile(counts, result, engine)
+    if args.profile:
+        _emit_profile(counts, result, engine, metrics)
+    if args.metrics:
+        _write_metrics(metrics, args.metrics)
     return _print_result(result, args.show_space)
+
+
+def _maybe_tracing(trace_path: str | None, program: str):
+    """A ``tracing`` context writing JSON lines to ``trace_path``, or a no-op."""
+    from contextlib import nullcontext
+
+    if trace_path is None:
+        return nullcontext()
+    from .obs import JsonLinesSink, tracing
+
+    return tracing(JsonLinesSink(trace_path), program=program)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -184,26 +232,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
     engine = "subst" if args.small_step else (args.engine or "machine")
     counts: dict | None = None
     if args.profile:
-        if engine not in ("vm", "rvm"):
+        if engine == "subst":
             from .core.errors import UsageError
 
             raise UsageError(
-                f"--profile counts bytecode dispatches, which engine {engine!r} "
-                "has none of; use --engine vm or --engine rvm"
+                "--profile reports dispatch and space counters, which engine "
+                "'subst' has none of; use --engine vm, rvm, or machine"
             )
-        counts = {}
-    result = run_source(
-        source,
-        calculus=args.calculus or "S",
-        engine=engine,
-        mediator=args.mediator or "coercion",
-        fuel=args.fuel,
-        opt_level=args.opt_level if args.opt_level is not None else 2,
-        cache=not args.no_cache,
-        opcode_counts=counts,
-    )
-    if counts is not None:
-        _emit_profile(counts, result, engine)
+        if engine in ("vm", "rvm"):
+            counts = {}
+    metrics = None
+    if args.profile or args.metrics:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    with _maybe_tracing(args.trace, args.file):
+        result = run_source(
+            source,
+            calculus=args.calculus or "S",
+            engine=engine,
+            mediator=args.mediator or "coercion",
+            fuel=args.fuel,
+            opt_level=args.opt_level if args.opt_level is not None else 2,
+            cache=not args.no_cache,
+            opcode_counts=counts,
+            metrics=metrics,
+        )
+    if args.profile:
+        _emit_profile(counts, result, engine, metrics)
+    if args.metrics:
+        _write_metrics(metrics, args.metrics)
     return _print_result(result, args.show_space)
 
 
@@ -255,6 +313,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     def emit(result: dict) -> None:
         print(json.dumps(result, sort_keys=True), flush=True)
 
+    metrics = None
+    if args.metrics:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    trace_sink = None
+    if args.trace:
+        from .obs import JsonLinesSink
+
+        trace_sink = JsonLinesSink(args.trace)
     results, aggregate = run_batch(
         args.paths,
         workers=args.workers,
@@ -263,7 +331,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         opt_level=args.opt_level,
         use_cache=not args.no_cache,
         on_result=emit,
+        metrics=metrics,
+        trace_sink=trace_sink,
     )
+    if args.metrics:
+        _write_metrics(metrics, args.metrics)
     print(json.dumps({"aggregate": aggregate}, sort_keys=True), flush=True)
     outcomes = aggregate["outcomes"]
     if outcomes["error"]:
@@ -273,6 +345,77 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if outcomes["blame"]:
         return EXIT_BLAME
     return EXIT_VALUE
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run a program with mediator tracing on and report what the trace saw.
+
+    Prints the result (stdout, same shape as ``run``), a one-line event
+    summary, the space maxima, the timeline series with ``--timeline``, and
+    — when the run allocated blame — the blame provenance trail: the chain
+    of ``#``/``∘`` compositions that produced the failing mediator.  With
+    ``-o`` the full event stream is also exported as JSON lines (default)
+    or a Chrome trace-event array (``--format chrome``; open in Perfetto).
+    Exit codes follow the ``run`` scheme.
+    """
+    import json
+    from collections import Counter
+
+    from .obs import (
+        ChromeTraceSink,
+        JsonLinesSink,
+        ListSink,
+        SpaceTimeline,
+        TeeSink,
+        blame_trail,
+        format_trail,
+        tracing,
+    )
+
+    source = Path(args.file).read_text()
+    engine = args.engine or "machine"
+    collector = ListSink()
+    sink = collector
+    if args.output is not None:
+        exporter = (ChromeTraceSink(args.output) if args.format == "chrome"
+                    else JsonLinesSink(args.output))
+        sink = TeeSink([collector, exporter])
+    timeline = None
+    if args.timeline:
+        timeline = SpaceTimeline(inner=sink)
+        sink = timeline
+    with tracing(sink, program=args.file):
+        result = run_source(
+            source,
+            calculus=args.calculus or "S",
+            engine=engine,
+            mediator=args.mediator or "coercion",
+            fuel=args.fuel,
+            opt_level=args.opt_level if args.opt_level is not None else 2,
+            cache=not args.no_cache,
+        )
+    print(result)
+    events = collector.events
+    kinds = Counter(event["ev"] for event in events)
+    summary = " ".join(
+        f"{kind}={kinds[kind]}"
+        for kind in ("mediator", "install", "merge", "collapse", "apply", "blame")
+        if kinds.get(kind)
+    )
+    print(f"trace: {len(events)} events" + (f" ({summary})" if summary else ""))
+    if result.space_stats is not None:
+        print(
+            "space: pending-mediators max={max_pending_mediators} "
+            "pending-size max={max_pending_size}".format(**result.space_stats)
+        )
+    if timeline is not None:
+        print(f"timeline: {json.dumps(timeline.series(), sort_keys=True)}")
+    trail = blame_trail(events)
+    if trail is not None:
+        print(format_trail(trail))
+    if args.output is not None:
+        print(f"wrote {args.output}", file=sys.stderr)
+    return _OUTCOME_EXIT_CODES[result.kind]
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -342,14 +485,49 @@ def build_parser() -> argparse.ArgumentParser:
                                  "2 (default) superinstructions + inline mediator caches")
     run_parser.add_argument("--show-space", action="store_true", help="print space statistics")
     run_parser.add_argument("--profile", action="store_true",
-                            help="dump per-opcode dispatch counts and inline-mediator-"
-                                 "cache hit rates as one JSON object on stderr "
-                                 "(vm and rvm engines)")
+                            help="dump dispatch counts (vm/rvm), inline-mediator-cache "
+                                 "hit rates, the space profile, and pipeline-phase "
+                                 "timings as one JSON object on stderr (vm, rvm, and "
+                                 "machine engines)")
+    run_parser.add_argument("--trace", default=None, metavar="FILE",
+                            help="record mediator lifecycle events (install/merge/"
+                                 "collapse/apply/blame) as JSON lines into FILE; "
+                                 "the traced outcome is bit-identical to an untraced run")
+    run_parser.add_argument("--metrics", default=None, metavar="FILE",
+                            help="write a metrics snapshot (counters, gauges, "
+                                 "histograms, phase timings) as JSON into FILE")
     run_parser.add_argument("--fuel", type=int, default=None)
     run_parser.add_argument("--no-cache", action="store_true",
                             help="bypass the on-disk compile cache (vm/rvm engines; "
                                  "other engines never cache)")
     run_parser.set_defaults(handler=_cmd_run)
+
+    trace_parser = sub.add_parser(
+        "trace", help="run a program with mediator tracing and show the trace",
+        epilog="exit codes: 0 value, 1 blame, 2 static/parse error, 3 timeout",
+    )
+    trace_parser.add_argument("file")
+    trace_parser.add_argument("--calculus", choices=["B", "C", "S", "b", "c", "s"],
+                              default=None, help="calculus to evaluate (default S)")
+    trace_parser.add_argument("--engine", choices=["vm", "rvm", "machine"], default=None,
+                              help="execution engine (default machine; the subst "
+                                   "oracle has no mediator hooks and cannot trace)")
+    trace_parser.add_argument("--mediator", choices=["coercion", "threesome"],
+                              default=None)
+    trace_parser.add_argument("-O", "--opt-level", type=int, choices=[0, 1, 2],
+                              default=None)
+    trace_parser.add_argument("--format", choices=["jsonl", "chrome"], default="jsonl",
+                              help="export format for -o: JSON lines (default) or a "
+                                   "Chrome trace-event array for chrome://tracing "
+                                   "or Perfetto")
+    trace_parser.add_argument("-o", "--output", default=None, metavar="FILE",
+                              help="export the full event stream here")
+    trace_parser.add_argument("--timeline", action="store_true",
+                              help="print the steps × pending-mediators space "
+                                   "timeline series as JSON")
+    trace_parser.add_argument("--fuel", type=int, default=None)
+    trace_parser.add_argument("--no-cache", action="store_true")
+    trace_parser.set_defaults(handler=_cmd_trace)
 
     compile_parser = sub.add_parser(
         "compile", help="lower a program to λS bytecode: print the disassembly "
@@ -387,6 +565,15 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument("--fuel", type=int, default=None)
     batch_parser.add_argument("--no-cache", action="store_true",
                               help="bypass the on-disk compile cache")
+    batch_parser.add_argument("--trace", default=None, metavar="FILE",
+                              help="trace every program's run into FILE as JSON "
+                                   "lines (forces inline execution: the tracer "
+                                   "cannot span a worker pool)")
+    batch_parser.add_argument("--metrics", default=None, metavar="FILE",
+                              help="write the batch metrics snapshot (outcome/cache "
+                                   "counters, per-program timing histograms) as "
+                                   "JSON into FILE; the same snapshot is embedded "
+                                   "in the aggregate line")
     batch_parser.set_defaults(handler=_cmd_batch)
 
     check_parser = sub.add_parser("check", help="gradually type check a program")

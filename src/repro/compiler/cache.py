@@ -106,7 +106,7 @@ class CacheOutcome:
     path: Path
 
 
-def _try_load(path: Path) -> LoadedImage | None:
+def _try_load(path: Path, metrics=None) -> LoadedImage | None:
     """Load a cache entry, deleting it if it is corrupt or unreadable.
 
     Entries were written by this library into the user's own cache, so the
@@ -118,6 +118,8 @@ def _try_load(path: Path) -> LoadedImage | None:
     try:
         return load_image(path, validate=False)
     except ImageError:
+        if metrics is not None:
+            metrics.counter("cache.corrupt").inc()
         try:
             path.unlink()
         except OSError:
@@ -131,14 +133,28 @@ def cache_lookup(
     mediator: str,
     cache_dir: str | os.PathLike | None = None,
     ir: str = "stack",
+    metrics=None,
 ) -> LoadedImage | None:
     """The cached image for this compilation, or ``None`` on a miss.
 
     A corrupt entry counts as a miss (and is deleted); this is the warm
     path of ``run_source``, which skips parsing, elaboration, lowering,
     and optimization entirely when it returns an image.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) gets the
+    ``cache`` phase timer and the ``cache.hit``/``cache.corrupt`` counters;
+    the miss itself is counted by :func:`cached_compile`, which every miss
+    falls through to — so the two callers never double-count.
     """
-    return _try_load(cache_path(source_hash, opt_level, mediator, cache_dir, ir))
+    from ..obs.metrics import phase
+
+    with phase(metrics, "cache"):
+        image = _try_load(
+            cache_path(source_hash, opt_level, mediator, cache_dir, ir), metrics
+        )
+    if image is not None and metrics is not None:
+        metrics.counter("cache.hit").inc()
+    return image
 
 
 def cached_compile(
@@ -149,6 +165,7 @@ def cached_compile(
     opt_level: int | None = None,
     cache_dir: str | os.PathLike | None = None,
     ir: str = "stack",
+    metrics=None,
 ) -> CacheOutcome:
     """Compile a λB term through the cache.
 
@@ -161,8 +178,13 @@ def cached_compile(
 
     ``ir="register"`` caches (and on a hit returns) an image that carries
     the packed register streams too, under its own key.
+
+    ``metrics`` gets the ``cache`` phase timer (load + store; compilation is
+    timed by its own ``lower``/``optimize``/``regalloc`` phases) and the
+    ``cache.{hit,miss,recovered,corrupt}`` counters.
     """
     from ..core.pretty import term_to_str
+    from ..obs.metrics import phase
     from .opt import DEFAULT_OPT_LEVEL
     from .vm import compile_term
 
@@ -172,23 +194,30 @@ def cached_compile(
         source_hash = source_fingerprint(term_to_str(term))
     path = cache_path(source_hash, opt_level, mediator, cache_dir, ir)
     existed = path.exists()
-    image = _try_load(path)
+    with phase(metrics, "cache"):
+        image = _try_load(path, metrics)
     if image is not None:
+        if metrics is not None:
+            metrics.counter("cache.hit").inc()
         return CacheOutcome(image, "hit", path)
 
-    code = compile_term(term, mediator=mediator, opt_level=opt_level)
-    try:
-        save_image(code, path, source_hash=source_hash, static_type=static_type, ir=ir)
-    except OSError:
-        pass  # a read-only or full cache degrades to compile-always
+    code = compile_term(term, mediator=mediator, opt_level=opt_level, metrics=metrics)
+    with phase(metrics, "cache"):
+        try:
+            save_image(code, path, source_hash=source_hash,
+                       static_type=static_type, ir=ir)
+        except OSError:
+            pass  # a read-only or full cache degrades to compile-always
     from .serialize import ImageInfo
 
     rcode = None
     if ir == "register":
         from .regalloc import compile_registers
 
-        rcode = compile_registers(code)
+        with phase(metrics, "regalloc"):
+            rcode = compile_registers(code)
     info = ImageInfo(FORMAT_VERSION, source_hash, opt_level, mediator, static_type, ir)
-    return CacheOutcome(
-        LoadedImage(code, info, rcode), "recovered" if existed else "miss", path
-    )
+    status = "recovered" if existed else "miss"
+    if metrics is not None:
+        metrics.counter(f"cache.{status}").inc()
+    return CacheOutcome(LoadedImage(code, info, rcode), status, path)

@@ -54,6 +54,7 @@ from ..machine.cek import MachineOutcome
 from ..machine.policy import MachineBlame
 from ..machine.profiler import MachineStats
 from ..machine.values import MConst, MFixWrap, MFunctionValue, MPair, MProxy
+from ..obs.trace import current_tracer
 from .opt import DEFAULT_OPT_LEVEL
 from .regalloc import (
     R_BLAME,
@@ -154,6 +155,13 @@ class RVM:
         rcodes = getattr(pool, "rcodes", ())
 
         policy = VM_BACKENDS[pool.mediator]
+        # The observability hook: fetched once per run, tested with one
+        # `is not None` at mediator lifecycle sites only — never on the
+        # per-dispatch path — so untraced runs pay ~nothing and traced
+        # outcomes stay bit-identical (the tracer reads, never writes).
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.run_start("rvm", policy)
         apply_co = policy.apply
         co_size = policy.size
         classify = policy.classify
@@ -206,6 +214,7 @@ class RVM:
         regs: list = code.blank.copy()
         pending = None  # the frame's single pending result coercion
         caches = code.caches  # per-site inline-cache cells (None below -O2)
+        stats.inline_caches = caches is not None
         co_actions, co_sizes = _pool_tables(pool, policy)
         fix_code = _fix_rcode_o2_for_run() if caches is not None else _RFIX_APPLY
         fix_stream = fix_code.stream
@@ -239,6 +248,9 @@ class RVM:
                             composed = compose_pending(mediator, coercions[stream[pc + 3]])
                             act = classify(composed)
                             caches[pc] = [mediator, composed, act]
+                        if tracer is not None:
+                            tracer.absorb(executed + 1, coercions[stream[pc + 3]],
+                                          mediator, composed, pm, ps)
                         if act == 1:  # ACT_WRAP
                             value = MProxy(value.under, composed)
                         elif act == 0:  # ACT_IDENTITY
@@ -248,6 +260,8 @@ class RVM:
                     else:
                         coercion_index = stream[pc + 3]
                         act = co_actions[coercion_index]
+                        if tracer is not None:
+                            tracer.apply(executed + 1, coercions[coercion_index])
                         if act == 1:
                             value = MProxy(value, coercions[coercion_index])
                         elif act != 0:
@@ -279,6 +293,8 @@ class RVM:
                             pm_max = pm
                         if ps > ps_max:
                             ps_max = ps
+                        if tracer is not None:
+                            tracer.install(executed + 1, coercion, pm, ps)
                     else:
                         cell = caches[pc]
                         if cell is not None and pending is cell[0]:
@@ -287,6 +303,8 @@ class RVM:
                             merges += 1
                             if ps > ps_max:
                                 ps_max = ps
+                            if tracer is not None:
+                                tracer.merge(executed + 1, coercion, pending, cell[1], pm, ps)
                             pending = cell[1]
                         else:
                             misses += 1
@@ -298,6 +316,8 @@ class RVM:
                             if ps > ps_max:
                                 ps_max = ps
                             caches[pc] = [pending, merged, size_in, size_merged]
+                            if tracer is not None:
+                                tracer.merge(executed + 1, coercion, pending, merged, pm, ps)
                             pending = merged
                     value = regs[stream[pc + 3]]
                     applications += 1
@@ -313,6 +333,9 @@ class RVM:
                             composed = compose_pending(mediator, coercions[stream[pc + 4]])
                             act = classify(composed)
                             caches[pc + 1] = [mediator, composed, act]
+                        if tracer is not None:
+                            tracer.absorb(executed + 1, coercions[stream[pc + 4]],
+                                          mediator, composed, pm, ps)
                         if act == 1:  # ACT_WRAP
                             value = MProxy(value.under, composed)
                         elif act == 0:  # ACT_IDENTITY
@@ -322,6 +345,8 @@ class RVM:
                     else:
                         coercion_index = stream[pc + 4]
                         act = co_actions[coercion_index]
+                        if tracer is not None:
+                            tracer.apply(executed + 1, coercions[coercion_index])
                         if act == 1:
                             value = MProxy(value, coercions[coercion_index])
                         elif act != 0:
@@ -383,6 +408,9 @@ class RVM:
                                     )
                                     act = classify(composed)
                                     caches[pc] = [mediator, composed, act]
+                                if tracer is not None:
+                                    tracer.absorb(executed + 1, coercions[stream[pc + 3]],
+                                                  mediator, composed, pm, ps)
                                 if act == 1:  # ACT_WRAP
                                     value = MProxy(value.under, composed)
                                 elif act == 0:  # ACT_IDENTITY
@@ -392,6 +420,8 @@ class RVM:
                             else:
                                 coercion_index = stream[pc + 3]
                                 act = co_actions[coercion_index]
+                                if tracer is not None:
+                                    tracer.apply(executed + 1, coercions[coercion_index])
                                 if act == 1:
                                     value = MProxy(value, coercions[coercion_index])
                                 elif act != 0:
@@ -419,6 +449,9 @@ class RVM:
                                     )
                                     act = classify(composed)
                                     caches[pc] = [mediator, composed, act]
+                                if tracer is not None:
+                                    tracer.absorb(executed + 1, coercions[stream[pc + 3]],
+                                                  mediator, composed, pm, ps)
                                 if act == 1:  # ACT_WRAP
                                     value = MProxy(value.under, composed)
                                 elif act == 0:  # ACT_IDENTITY
@@ -428,6 +461,8 @@ class RVM:
                             else:
                                 coercion_index = stream[pc + 3]
                                 act = co_actions[coercion_index]
+                                if tracer is not None:
+                                    tracer.apply(executed + 1, coercions[coercion_index])
                                 if act == 1:
                                     value = MProxy(value, coercions[coercion_index])
                                 elif act != 0:
@@ -472,6 +507,8 @@ class RVM:
                                 hits += 1
                                 dom = cell[1]
                                 act = cell[3]
+                                if tracer is not None:
+                                    tracer.apply(executed + 1, dom)
                                 if act == 1:  # ACT_WRAP
                                     if arg.__class__ is MProxy:
                                         arg = apply_co(arg, dom)
@@ -491,6 +528,8 @@ class RVM:
                                         break
                                     applications += 1
                                     dom, cod = fun_parts(mediator)
+                                    if tracer is not None:
+                                        tracer.apply(executed + 1, dom)
                                     if first:
                                         caches[site] = [
                                             mediator, dom, cod, classify(dom),
@@ -533,6 +572,8 @@ class RVM:
                                     pm_max = pm
                                 if ps > ps_max:
                                     ps_max = ps
+                                if tracer is not None:
+                                    tracer.install(executed + 1, result_co, pm, ps)
                         else:  # reuse the frame, keep the pending slot
                             if result_co is not None:
                                 if pending is None:
@@ -543,6 +584,8 @@ class RVM:
                                         pm_max = pm
                                     if ps > ps_max:
                                         ps_max = ps
+                                    if tracer is not None:
+                                        tracer.install(executed + 1, result_co, pm, ps)
                                 else:
                                     cell = caches[site] if caches is not None else None
                                     if (
@@ -555,6 +598,9 @@ class RVM:
                                         merges += 1
                                         if ps > ps_max:
                                             ps_max = ps
+                                        if tracer is not None:
+                                            tracer.merge(executed + 1, result_co,
+                                                         pending, cell[6], pm, ps)
                                         pending = cell[6]
                                     else:
                                         if cell is not None:
@@ -572,6 +618,9 @@ class RVM:
                                             cell[6] = merged
                                             cell[7] = size_in
                                             cell[8] = size_merged
+                                        if tracer is not None:
+                                            tracer.merge(executed + 1, result_co,
+                                                         pending, merged, pm, ps)
                                         pending = merged
                         stream = callee.stream
                         pc = 0
@@ -625,6 +674,8 @@ class RVM:
                                     caches[site] = [pending, act, size]
                                     pm -= 1
                                     ps -= size
+                                if tracer is not None:
+                                    tracer.collapse(executed + 1, pending, pm, ps)
                                 if act == 1:  # ACT_WRAP
                                     value = MProxy(value, pending)
                                 elif act != 0:
@@ -632,6 +683,8 @@ class RVM:
                             else:
                                 pm -= 1
                                 ps -= co_size(pending)
+                                if tracer is not None:
+                                    tracer.collapse(executed + 1, pending, pm, ps)
                                 value = apply_co(value, pending)
                         if not frames:
                             stats.steps = executed + 1
@@ -639,8 +692,11 @@ class RVM:
                                 stats, kd_max, pm_max, ps_max, merges,
                                 applications, hits, misses,
                             )
+                            snapshot = stats.snapshot()
+                            if tracer is not None:
+                                tracer.run_end("value", snapshot)
                             return MachineOutcome(
-                                "value", value=value, stats=stats.snapshot()
+                                "value", value=value, stats=snapshot
                             )
                         stream, pc, regs, pending, caches, dst = frames.pop()
                         regs[dst] = value
@@ -665,6 +721,9 @@ class RVM:
                                     )
                                     act = classify(composed)
                                     caches[pc] = [mediator, composed, act]
+                                if tracer is not None:
+                                    tracer.absorb(executed + 1, coercions[stream[pc + 3]],
+                                                  mediator, composed, pm, ps)
                                 if act == 1:  # ACT_WRAP
                                     value = MProxy(value.under, composed)
                                 elif act == 0:  # ACT_IDENTITY
@@ -674,11 +733,15 @@ class RVM:
                             else:
                                 coercion_index = stream[pc + 3]
                                 act = co_actions[coercion_index]
+                                if tracer is not None:
+                                    tracer.apply(executed + 1, coercions[coercion_index])
                                 if act == 1:
                                     value = MProxy(value, coercions[coercion_index])
                                 elif act != 0:
                                     value = apply_co(value, coercions[coercion_index])
                         else:
+                            if tracer is not None:
+                                tracer.apply(executed + 1, coercions[stream[pc + 3]])
                             value = apply_co(value, coercions[stream[pc + 3]])
                         regs[stream[pc + 1]] = value
                         if op == COERCE:
@@ -700,6 +763,9 @@ class RVM:
                                     )
                                     act = classify(composed)
                                     caches[pc + 1] = [mediator, composed, act]
+                                if tracer is not None:
+                                    tracer.absorb(executed + 1, coercions[stream[pc + 6]],
+                                                  mediator, composed, pm, ps)
                                 if act == 1:  # ACT_WRAP
                                     value = MProxy(value.under, composed)
                                 elif act == 0:  # ACT_IDENTITY
@@ -709,6 +775,8 @@ class RVM:
                             else:
                                 coercion_index = stream[pc + 6]
                                 act = co_actions[coercion_index]
+                                if tracer is not None:
+                                    tracer.apply(executed + 1, coercions[coercion_index])
                                 if act == 1:
                                     value = MProxy(value, coercions[coercion_index])
                                 elif act != 0:
@@ -751,6 +819,8 @@ class RVM:
                             pm_max = pm
                         if ps > ps_max:
                             ps_max = ps
+                        if tracer is not None:
+                            tracer.install(executed + 1, coercion, pm, ps)
                     else:
                         cell = caches[pc]
                         if cell is not None and pending is cell[0]:
@@ -759,6 +829,8 @@ class RVM:
                             merges += 1
                             if ps > ps_max:
                                 ps_max = ps
+                            if tracer is not None:
+                                tracer.merge(executed + 1, coercion, pending, cell[1], pm, ps)
                             pending = cell[1]
                         else:
                             misses += 1
@@ -770,6 +842,8 @@ class RVM:
                             if ps > ps_max:
                                 ps_max = ps
                             caches[pc] = [pending, merged, size_in, size_merged]
+                            if tracer is not None:
+                                tracer.merge(executed + 1, coercion, pending, merged, pm, ps)
                             pending = merged
                     a = regs[stream[pc + 4]]
                     b = regs[stream[pc + 5]]
@@ -873,6 +947,8 @@ class RVM:
                             pm_max = pm
                         if ps > ps_max:
                             ps_max = ps
+                        if tracer is not None:
+                            tracer.install(executed + 1, coercion, pm, ps)
                     elif caches is not None:
                         cell = caches[pc]
                         if cell is not None and pending is cell[0]:
@@ -881,6 +957,8 @@ class RVM:
                             merges += 1
                             if ps > ps_max:
                                 ps_max = ps
+                            if tracer is not None:
+                                tracer.merge(executed + 1, coercion, pending, cell[1], pm, ps)
                             pending = cell[1]
                         else:
                             misses += 1
@@ -892,6 +970,8 @@ class RVM:
                             if ps > ps_max:
                                 ps_max = ps
                             caches[pc] = [pending, merged, size_in, size_merged]
+                            if tracer is not None:
+                                tracer.merge(executed + 1, coercion, pending, merged, pm, ps)
                             pending = merged
                     else:
                         merged = compose_pending(coercion, pending)
@@ -899,6 +979,8 @@ class RVM:
                         merges += 1
                         if ps > ps_max:
                             ps_max = ps
+                        if tracer is not None:
+                            tracer.merge(executed + 1, coercion, pending, merged, pm, ps)
                         pending = merged
                     pc += 2
                 elif op == PRIM1:
@@ -951,11 +1033,18 @@ class RVM:
         except MachineBlame as blame:
             stats.steps = executed + 1
             _store_stats(stats, kd_max, pm_max, ps_max, merges, applications, hits, misses)
-            return MachineOutcome("blame", label=blame.label, stats=stats.snapshot())
+            snapshot = stats.snapshot()
+            if tracer is not None:
+                tracer.blame(executed + 1, blame.label)
+                tracer.run_end("blame", snapshot)
+            return MachineOutcome("blame", label=blame.label, stats=snapshot)
 
         stats.steps = fuel
         _store_stats(stats, kd_max, pm_max, ps_max, merges, applications, hits, misses)
-        return MachineOutcome("timeout", stats=stats.snapshot())
+        snapshot = stats.snapshot()
+        if tracer is not None:
+            tracer.run_end("timeout", snapshot)
+        return MachineOutcome("timeout", stats=snapshot)
 
 
 def _store_stats(
@@ -983,16 +1072,22 @@ THE_RVM = RVM()
 
 
 def compile_term_registers(
-    term_b: Term, mediator: str = "coercion", opt_level: int = DEFAULT_OPT_LEVEL
+    term_b: Term, mediator: str = "coercion", opt_level: int = DEFAULT_OPT_LEVEL,
+    metrics=None,
 ) -> RCode:
     """Compile an elaborated λB term through the full pipeline — translate,
     lower, optimize (``opt_level`` shapes elision, fusion, and cache
     allocation), then register-allocate — into code ready for
-    :func:`run_rcode`."""
+    :func:`run_rcode`.  ``metrics`` gets the ``lower``/``optimize`` phases
+    (via :func:`~repro.compiler.vm.compile_term`) plus ``regalloc``."""
+    from ..obs.metrics import phase
     from .regalloc import compile_registers
     from .vm import compile_term
 
-    return compile_registers(compile_term(term_b, mediator=mediator, opt_level=opt_level))
+    code = compile_term(term_b, mediator=mediator, opt_level=opt_level,
+                        metrics=metrics)
+    with phase(metrics, "regalloc"):
+        return compile_registers(code)
 
 
 def run_on_rvm(

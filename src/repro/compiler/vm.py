@@ -70,6 +70,7 @@ from ..machine.cek import MachineOutcome
 from ..machine.policy import SPACE_POLICY, THREESOME_POLICY, MachineBlame, MediationPolicy
 from ..machine.profiler import MachineStats
 from ..machine.values import MConst, MFixWrap, MFunctionValue, MPair, MProxy
+from ..obs.trace import current_tracer
 from .bytecode import (
     BLAME,
     CALL,
@@ -225,6 +226,13 @@ class VM:
         # The pool declares which mediator representation its entries use;
         # hoist that backend's methods into loop locals.
         policy = VM_BACKENDS[pool.mediator]
+        # The observability hook: fetched once per run, tested with a single
+        # `is not None` at mediator lifecycle sites only — never on the
+        # per-dispatch path — so untraced runs pay ~nothing and the tracer
+        # (which never touches `stats`) cannot perturb outcomes.
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.run_start("vm", policy)
         apply_co = policy.apply
         co_size = policy.size
         classify = policy.classify
@@ -242,6 +250,7 @@ class VM:
         locals_: list = [None] * code.n_locals
         pending = None  # the frame's single pending result coercion
         caches = code.caches  # per-site inline-cache cells (None below -O2)
+        stats.inline_caches = caches is not None
         if caches is not None:
             co_actions, co_sizes = _pool_tables(pool, policy)
             fix_code = _fix_apply_o2_for_run()
@@ -288,6 +297,8 @@ class VM:
                             hits += 1
                             dom = cell[1]
                             act = cell[3]
+                            if tracer is not None:
+                                tracer.apply(executed + 1, dom)
                             if act == 1:  # ACT_WRAP
                                 if arg.__class__ is MProxy:
                                     arg = apply_co(arg, dom)
@@ -307,6 +318,8 @@ class VM:
                                     break
                                 applications += 1
                                 dom, cod = fun_parts(mediator)
+                                if tracer is not None:
+                                    tracer.apply(executed + 1, dom)
                                 if first:
                                     caches[pc - 1] = [
                                         mediator, dom, cod, classify(dom),
@@ -338,11 +351,19 @@ class VM:
                         pending = result_co
                         if result_co is not None:
                             stats.push_mediator(co_size(result_co))
+                            if tracer is not None:
+                                tracer.install(executed + 1, result_co,
+                                               stats.pending_mediators,
+                                               stats.pending_size)
                     else:  # reuse the frame, keep the pending slot
                         if result_co is not None:
                             if pending is None:
                                 pending = result_co
                                 stats.push_mediator(co_size(result_co))
+                                if tracer is not None:
+                                    tracer.install(executed + 1, result_co,
+                                                   stats.pending_mediators,
+                                                   stats.pending_size)
                             else:
                                 cell = caches[pc - 1] if caches is not None else None
                                 if (
@@ -352,6 +373,11 @@ class VM:
                                 ):
                                     hits += 1
                                     stats.replace_mediator(cell[7], cell[8])
+                                    if tracer is not None:
+                                        tracer.merge(executed + 1, result_co,
+                                                     pending, cell[6],
+                                                     stats.pending_mediators,
+                                                     stats.pending_size)
                                     pending = cell[6]
                                 else:
                                     if cell is not None:
@@ -366,6 +392,11 @@ class VM:
                                         cell[6] = merged
                                         cell[7] = size_in
                                         cell[8] = size_merged
+                                    if tracer is not None:
+                                        tracer.merge(executed + 1, result_co,
+                                                     pending, merged,
+                                                     stats.pending_mediators,
+                                                     stats.pending_size)
                                     pending = merged
                     insns = callee.instructions
                     pc = 0
@@ -411,6 +442,11 @@ class VM:
                                 composed = compose_pending(mediator, coercions[coercion_index])
                                 act = classify(composed)
                                 caches[pc - 1] = [mediator, composed, act]
+                            if tracer is not None:
+                                tracer.absorb(executed + 1, coercions[coercion_index],
+                                              mediator, composed,
+                                              stats.pending_mediators,
+                                              stats.pending_size)
                             if act == 1:  # ACT_WRAP
                                 value = MProxy(value.under, composed)
                             elif act == 0:  # ACT_IDENTITY
@@ -418,12 +454,16 @@ class VM:
                             else:
                                 value = apply_co(value.under, composed)
                         else:
+                            if tracer is not None:
+                                tracer.apply(executed + 1, coercions[coercion_index])
                             act = co_actions[coercion_index]
                             if act == 1:
                                 value = MProxy(value, coercions[coercion_index])
                             elif act != 0:
                                 value = apply_co(value, coercions[coercion_index])
                     else:
+                        if tracer is not None:
+                            tracer.apply(executed + 1, coercions[coercion_index])
                         value = apply_co(value, coercions[coercion_index])
                     if push:
                         stack.append(value)
@@ -504,11 +544,17 @@ class VM:
                         stats.push_mediator(
                             co_sizes[operand] if caches is not None else co_size(coercion)
                         )
+                        if tracer is not None:
+                            tracer.install(executed + 1, coercion,
+                                           stats.pending_mediators, stats.pending_size)
                     elif caches is not None:
                         cell = caches[pc - 1]
                         if cell is not None and pending is cell[0]:
                             hits += 1
                             stats.replace_mediator(cell[2], cell[3])
+                            if tracer is not None:
+                                tracer.merge(executed + 1, coercion, pending, cell[1],
+                                             stats.pending_mediators, stats.pending_size)
                             pending = cell[1]
                         else:
                             misses += 1
@@ -517,10 +563,16 @@ class VM:
                             size_merged = co_size(merged)
                             stats.replace_mediator(size_in, size_merged)
                             caches[pc - 1] = [pending, merged, size_in, size_merged]
+                            if tracer is not None:
+                                tracer.merge(executed + 1, coercion, pending, merged,
+                                             stats.pending_mediators, stats.pending_size)
                             pending = merged
                     else:
                         merged = compose_pending(coercion, pending)
                         stats.replace_mediator(co_size(pending), co_size(merged))
+                        if tracer is not None:
+                            tracer.merge(executed + 1, coercion, pending, merged,
+                                         stats.pending_mediators, stats.pending_size)
                         pending = merged
                 elif op == RETURN or op == CLOSURE_RETURN:
                     if op == RETURN:
@@ -548,19 +600,30 @@ class VM:
                                 size = co_size(pending)
                                 caches[pc - 1] = [pending, act, size]
                                 stats.pop_mediator(size)
+                            if tracer is not None:
+                                tracer.collapse(executed + 1, pending,
+                                                stats.pending_mediators,
+                                                stats.pending_size)
                             if act == 1:  # ACT_WRAP
                                 value = MProxy(value, pending)
                             elif act != 0:
                                 value = apply_co(value, pending)
                         else:
                             stats.pop_mediator(co_size(pending))
+                            if tracer is not None:
+                                tracer.collapse(executed + 1, pending,
+                                                stats.pending_mediators,
+                                                stats.pending_size)
                             value = apply_co(value, pending)
                     if not frames:
                         stats.steps = executed + 1
                         stats.mediator_applications = applications
                         stats.cache_hits = hits
                         stats.cache_misses = misses
-                        return MachineOutcome("value", value=value, stats=stats.snapshot())
+                        snapshot = stats.snapshot()
+                        if tracer is not None:
+                            tracer.run_end("value", snapshot)
+                        return MachineOutcome("value", value=value, stats=snapshot)
                     insns, pc, locals_, pending, caches = frames.pop()
                     stack.append(value)
                 elif op == STORE:
@@ -581,6 +644,8 @@ class VM:
                     applications += 1
                     coercion_index = operand & FUSED_MASK
                     value = consts[operand >> FUSED_SHIFT]  # an MConst: never a proxy
+                    if tracer is not None:
+                        tracer.apply(executed + 1, coercions[coercion_index])
                     act = co_actions[coercion_index]
                     if act == 1:  # ACT_WRAP
                         stack.append(MProxy(value, coercions[coercion_index]))
@@ -606,13 +671,20 @@ class VM:
             stats.mediator_applications = applications
             stats.cache_hits = hits
             stats.cache_misses = misses
-            return MachineOutcome("blame", label=blame.label, stats=stats.snapshot())
+            snapshot = stats.snapshot()
+            if tracer is not None:
+                tracer.blame(executed + 1, blame.label)
+                tracer.run_end("blame", snapshot)
+            return MachineOutcome("blame", label=blame.label, stats=snapshot)
 
         stats.steps = fuel
         stats.mediator_applications = applications
         stats.cache_hits = hits
         stats.cache_misses = misses
-        return MachineOutcome("timeout", stats=stats.snapshot())
+        snapshot = stats.snapshot()
+        if tracer is not None:
+            tracer.run_end("timeout", snapshot)
+        return MachineOutcome("timeout", stats=snapshot)
 
 
 #: The shared, stateless VM instance.
@@ -620,7 +692,8 @@ THE_VM = VM()
 
 
 def compile_term(
-    term_b: Term, mediator: str = "coercion", opt_level: int = DEFAULT_OPT_LEVEL
+    term_b: Term, mediator: str = "coercion", opt_level: int = DEFAULT_OPT_LEVEL,
+    metrics=None,
 ) -> CodeObject:
     """Compile an elaborated λB term: translate ``|·|BC`` then ``|·|CS``, lower,
     optimize.
@@ -629,13 +702,18 @@ def compile_term(
     ``"coercion"`` (canonical coercions, ``#``) or ``"threesome"`` (labeled
     types, ``∘``); ``opt_level`` is the ``-O`` level (0 none, 1 static
     mediator elision/pre-composition, 2 — the default — superinstructions
-    and inline caches too; see :mod:`repro.compiler.opt`).
+    and inline caches too; see :mod:`repro.compiler.opt`).  ``metrics`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) gets the ``lower`` (which
+    covers the two translations too) and ``optimize`` phase timers.
     """
+    from ..obs.metrics import phase
     from ..translate import b_to_c, c_to_s
     from .lower import lower_program
 
-    code = lower_program(c_to_s(b_to_c(term_b)), mediator=mediator)
-    return optimize(code, opt_level)
+    with phase(metrics, "lower"):
+        code = lower_program(c_to_s(b_to_c(term_b)), mediator=mediator)
+    with phase(metrics, "optimize"):
+        return optimize(code, opt_level)
 
 
 def run_on_vm(

@@ -36,6 +36,7 @@ from ..core.terms import (
     Term,
     Var,
 )
+from ..obs.trace import current_tracer
 from .frames import (
     Frame,
     KAppArg,
@@ -117,6 +118,12 @@ class CEKMachine:
         """Run a closed term to an outcome, collecting space statistics."""
         stats = MachineStats()
         policy = self.policy
+        # The observability hook: fetched once per run; every hook below is
+        # behind one `is not None` test, so untraced runs pay ~nothing.  The
+        # tracer never mutates `stats`, so traced outcomes are bit-identical.
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.run_start("machine", policy)
         env = Environment.empty()
         kont: list[Frame] = []
 
@@ -141,7 +148,11 @@ class CEKMachine:
                             False,
                         )
                     elif isinstance(term_now, Blame):
-                        return MachineOutcome("blame", label=term_now.label, stats=stats.snapshot())
+                        snapshot = stats.snapshot()
+                        if tracer is not None:
+                            tracer.blame(stats.steps, term_now.label)
+                            tracer.run_end("blame", snapshot)
+                        return MachineOutcome("blame", label=term_now.label, stats=snapshot)
                     elif isinstance(term_now, Op):
                         if not term_now.args:
                             spec = op_spec(term_now.op)
@@ -177,7 +188,7 @@ class CEKMachine:
                             raise EvaluationError(
                                 f"the λ{policy.name} machine cannot interpret {term_now!r}"
                             )
-                        self._push_mediator(kont, policy.term_mediator(term_now), stats)
+                        self._push_mediator(kont, policy.term_mediator(term_now), stats, tracer)
                         control = term_now.subject
                     else:
                         raise EvaluationError(f"unknown term node: {term_now!r}")
@@ -185,22 +196,28 @@ class CEKMachine:
 
                 # Apply mode: feed `value` to the top continuation frame.
                 if not kont:
-                    return MachineOutcome("value", value=value, stats=stats.snapshot())
+                    snapshot = stats.snapshot()
+                    if tracer is not None:
+                        tracer.run_end("value", snapshot)
+                    return MachineOutcome("value", value=value, stats=snapshot)
                 frame = kont.pop()
 
                 if isinstance(frame, KMediate):
                     stats.pop_mediator(policy.size(frame.mediator))
                     stats.mediator_applications += 1
+                    if tracer is not None:
+                        tracer.collapse(stats.steps, frame.mediator,
+                                        stats.pending_mediators, stats.pending_size)
                     value = policy.apply(value, frame.mediator)
                 elif isinstance(frame, KAppFun):
                     kont.append(KAppArg(value))
                     control, env, mode_eval = frame.arg, frame.env, True
                 elif isinstance(frame, KAppArg):
-                    result = self._apply_function(frame.fun, value, kont, stats)
+                    result = self._apply_function(frame.fun, value, kont, stats, tracer)
                     if result is not None:
                         control, env, mode_eval = result
                 elif isinstance(frame, KCallWith):
-                    result = self._apply_function(value, frame.arg, kont, stats)
+                    result = self._apply_function(value, frame.arg, kont, stats, tracer)
                     if result is not None:
                         control, env, mode_eval = result
                 elif isinstance(frame, KOp):
@@ -220,7 +237,7 @@ class CEKMachine:
                     env, mode_eval = frame.env.extend(frame.name, value), True
                 elif isinstance(frame, KFix):
                     wrapper = MFixWrap(value, frame.fun_type)
-                    result = self._apply_function(value, wrapper, kont, stats)
+                    result = self._apply_function(value, wrapper, kont, stats, tracer)
                     if result is not None:
                         control, env, mode_eval = result
                 elif isinstance(frame, KPairLeft):
@@ -235,13 +252,21 @@ class CEKMachine:
                 else:  # pragma: no cover - defensive
                     raise EvaluationError(f"unknown continuation frame: {frame!r}")
         except MachineBlame as blame:
-            return MachineOutcome("blame", label=blame.label, stats=stats.snapshot())
+            snapshot = stats.snapshot()
+            if tracer is not None:
+                tracer.blame(stats.steps, blame.label)
+                tracer.run_end("blame", snapshot)
+            return MachineOutcome("blame", label=blame.label, stats=snapshot)
 
-        return MachineOutcome("timeout", stats=stats.snapshot())
+        snapshot = stats.snapshot()
+        if tracer is not None:
+            tracer.run_end("timeout", snapshot)
+        return MachineOutcome("timeout", stats=snapshot)
 
     # -- helpers --------------------------------------------------------------
 
-    def _push_mediator(self, kont: list[Frame], mediator: object, stats: MachineStats) -> None:
+    def _push_mediator(self, kont: list[Frame], mediator: object,
+                       stats: MachineStats, tracer=None) -> None:
         policy = self.policy
         if (
             policy.merges_pending_mediators
@@ -252,9 +277,15 @@ class CEKMachine:
             merged = policy.compose(mediator, existing)
             stats.replace_mediator(policy.size(existing), policy.size(merged))
             kont[-1] = KMediate(merged)
+            if tracer is not None:
+                tracer.merge(stats.steps, mediator, existing, merged,
+                             stats.pending_mediators, stats.pending_size)
             return
         kont.append(KMediate(mediator))
         stats.push_mediator(policy.size(mediator))
+        if tracer is not None:
+            tracer.install(stats.steps, mediator,
+                           stats.pending_mediators, stats.pending_size)
 
     def _apply_function(
         self,
@@ -262,6 +293,7 @@ class CEKMachine:
         arg: MachineValue,
         kont: list[Frame],
         stats: MachineStats,
+        tracer=None,
     ) -> tuple[Term, Environment, bool] | None:
         """Apply ``fun`` to ``arg``; returns a new (control, env, eval-mode) triple
         when evaluation should continue with a term, or ``None`` when the caller
@@ -271,15 +303,17 @@ class CEKMachine:
         while isinstance(fun, MProxy) and policy.is_fun_proxy(fun.mediator):
             dom, cod = policy.fun_parts(fun.mediator)
             stats.mediator_applications += 1
+            if tracer is not None:
+                tracer.apply(stats.steps, dom)
             arg = policy.apply(arg, dom)
-            self._push_mediator(kont, cod, stats)
+            self._push_mediator(kont, cod, stats, tracer)
             fun = fun.under
         if isinstance(fun, MClosure):
             return fun.body, fun.env.extend(fun.param, arg), True
         if isinstance(fun, MFixWrap):
             # (fix V) W  →  (V (fix-wrapper)) W
             kont.append(KCallWith(arg))
-            return self._apply_function(fun.functional, MFixWrap(fun.functional, fun.fun_type), kont, stats)
+            return self._apply_function(fun.functional, MFixWrap(fun.functional, fun.fun_type), kont, stats, tracer)
         raise EvaluationError(f"application of a non-function value: {fun!r}")
 
     def _apply_op(self, op: str, operands: tuple[MachineValue, ...]) -> MachineValue:

@@ -44,6 +44,11 @@ class MachineStats:
     #: every cache-cell consult (``-O2`` only; both stay 0 below that).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Did the engine run with inline mediator caches allocated?  Set by the
+    #: VMs from ``code.caches``; makes a ``-O2`` run that never consulted a
+    #: cache distinguishable from a ``-O0`` run in the snapshot (both would
+    #: otherwise drop the zero hit/miss counters).
+    inline_caches: bool = field(default=False, repr=False)
 
     def note_depth(self, depth: int) -> None:
         if depth > self.max_kont_depth:
@@ -80,7 +85,7 @@ class MachineStats:
         }
         if self.opcode_pairs is not None:
             result["opcode_pairs"] = dict(self.opcode_pairs)
-        if self.cache_hits or self.cache_misses:
+        if self.inline_caches or self.cache_hits or self.cache_misses:
             result["cache_hits"] = self.cache_hits
             result["cache_misses"] = self.cache_misses
         if self.opcode_counts is not None:

@@ -1,0 +1,120 @@
+"""Blame provenance trails: which compositions produced the failing mediator.
+
+When blame raises, the scalar answer — a label — says *who* is blamed, but
+not *how* the mediator that failed came to exist.  On the space-efficient
+engines that mediator is almost never the one the programmer wrote: it is
+the result of a chain of ``#``/``∘`` compositions (continuation merges,
+tail-call merges, proxy absorptions).  The trace records every one of those
+compositions as a ``merge`` event carrying small-int mediator references,
+so the chain is reconstructible after the fact: start from the blame
+event's mediator and repeatedly expand each reference through the **last**
+merge that produced it before the failure.
+
+This is the direct input for a rational-programmer-style blame evaluation
+(Lazarek et al.): a trail is exactly the sequence of boundaries a rational
+programmer would walk when deciding whether the blamed boundary is the
+faulty one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def blame_trail(events: Iterable[dict], max_depth: int = 64) -> dict | None:
+    """Reconstruct the composition ancestry of the blamed mediator.
+
+    ``events`` is a trace (dicts, as any sink received them).  Returns
+    ``None`` when the trace has no blame event.  Otherwise::
+
+        {
+          "label": str,              # the blamed label
+          "step": int,               # when blame raised
+          "mediator": str | None,    # printed form of the failing mediator
+          "labels": [str, ...],      # labels carried by the failing mediator
+          "trail": [                 # compositions, most recent first
+            {"step": s, "result": repr, "new": repr, "prev": repr},
+            ...
+          ],
+        }
+
+    The trail walks backwards: the last merge producing the failing
+    mediator, then the last merges producing *its* inputs, and so on — a
+    breadth-first ancestry cut off at ``max_depth`` entries.  Mediators the
+    trace never saw composed (they were installed directly) terminate their
+    branch.  With a :class:`~repro.obs.sinks.RingBufferSink` the oldest
+    definitions may have been evicted; unknown references print as ``#<id>``.
+    """
+    defs: dict[int, dict] = {}
+    merges: list[dict] = []
+    blame: dict | None = None
+    for event in events:
+        ev = event.get("ev")
+        if ev == "mediator":
+            defs[event["id"]] = event
+        elif ev == "merge":
+            merges.append(event)
+        elif ev == "blame":
+            blame = event  # the last blame wins (there is at most one per run)
+    if blame is None:
+        return None
+
+    def name(mid: int | None) -> str | None:
+        if mid is None:
+            return None
+        definition = defs.get(mid)
+        return definition["repr"] if definition else f"#{mid}"
+
+    trail: list[dict] = []
+    failing = blame.get("m")
+    if failing is not None:
+        # The last merge producing each mediator id, for O(1) ancestry steps.
+        produced_by: dict[int, dict] = {}
+        for merge in merges:
+            produced_by[merge["m"]] = merge
+        frontier = [failing]
+        seen: set[int] = set()
+        while frontier and len(trail) < max_depth:
+            mid = frontier.pop(0)
+            if mid in seen:
+                continue  # compositions can be idempotent (m # m = m)
+            seen.add(mid)
+            merge = produced_by.get(mid)
+            if merge is None:
+                continue
+            trail.append({
+                "step": merge["step"],
+                "result": name(merge["m"]),
+                "new": name(merge["new"]),
+                "prev": name(merge["prev"]),
+            })
+            frontier.append(merge["new"])
+            frontier.append(merge["prev"])
+
+    definition = defs.get(failing) if failing is not None else None
+    return {
+        "label": blame["label"],
+        "step": blame["step"],
+        "mediator": name(failing),
+        "labels": list(definition["labels"]) if definition else [],
+        "trail": trail,
+    }
+
+
+def format_trail(trail: dict) -> str:
+    """Render a trail as indented text for the ``trace`` subcommand."""
+    lines = [f"blame {trail['label']} at step {trail['step']}"]
+    if trail["mediator"] is not None:
+        lines.append(f"  failing mediator: {trail['mediator']}")
+    if trail["labels"]:
+        lines.append(f"  labels in mediator: {', '.join(trail['labels'])}")
+    if trail["trail"]:
+        lines.append("  composed from (most recent first):")
+        for entry in trail["trail"]:
+            lines.append(
+                f"    step {entry['step']}: {entry['new']}  #  {entry['prev']}"
+                f"  =>  {entry['result']}"
+            )
+    else:
+        lines.append("  (installed directly; no compositions recorded)")
+    return "\n".join(lines)

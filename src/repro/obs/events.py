@@ -1,0 +1,272 @@
+"""Structured mediator-lifecycle trace events.
+
+Every event is a frozen dataclass with a ``kind`` tag and a JSON-ready
+``to_dict`` / ``from_dict`` round trip (asserted kind by kind in
+``tests/test_obs.py``).  The eight kinds cover one engine run end to end:
+
+========== =================================================================
+kind       meaning
+========== =================================================================
+run_start  an engine began executing (engine, calculus, mediator backend)
+mediator   a mediator *definition*: the first time an interned mediator
+           appears, its small integer id is bound to its printed form, its
+           size, and the blame labels (with embedded source spans) it carries
+install    a pending mediator was pushed onto the continuation / a frame's
+           pending slot
+merge      two pending mediators were composed into one (``#`` / ``∘``) —
+           either continuation-level (λS's space rule) or a proxy being
+           absorbed into a coercion at an apply site
+collapse   a pending mediator left the continuation to be applied
+apply      a mediator was applied to a value (dom coercions at call sites,
+           coerce instructions, collapsed pending slots)
+blame      evaluation allocated blame; ``m`` is the mediator whose
+           application raised it when the trace can tell, else ``None``
+run_end    the run finished (kind, steps, the full stats snapshot)
+========== =================================================================
+
+Mediator *references* (``m``, ``new``, ``prev``) are the small integers of
+earlier ``mediator`` definitions, so a JSON-lines trace stays compact while
+every composition chain remains reconstructible (see
+:func:`repro.obs.blame.blame_trail`).
+
+Events reference engine values but this module never imports an engine:
+mediator introspection (:func:`describe_mediator`) dispatches lazily so the
+engines can import :mod:`repro.obs.trace` without a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from dataclasses import is_dataclass
+from typing import Any
+
+from ..core.labels import Label
+
+
+@dataclass(frozen=True)
+class RunStart:
+    """An engine began executing."""
+
+    kind = "run_start"
+    engine: str
+    calculus: str
+    backend: str
+    program: str | None = None
+
+    def to_dict(self) -> dict:
+        d = {"ev": self.kind, "engine": self.engine, "calculus": self.calculus,
+             "backend": self.backend}
+        if self.program is not None:
+            d["program"] = self.program
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunStart":
+        return cls(d["engine"], d["calculus"], d["backend"], d.get("program"))
+
+
+@dataclass(frozen=True)
+class MediatorDef:
+    """The first appearance of a mediator: id → printed form, size, labels."""
+
+    kind = "mediator"
+    id: int
+    repr: str
+    size: int | None
+    labels: tuple[str, ...]
+
+    def to_dict(self) -> dict:
+        return {"ev": self.kind, "id": self.id, "repr": self.repr,
+                "size": self.size, "labels": list(self.labels)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MediatorDef":
+        return cls(d["id"], d["repr"], d["size"], tuple(d["labels"]))
+
+
+@dataclass(frozen=True)
+class Install:
+    """A pending mediator was pushed (continuation frame or pending slot)."""
+
+    kind = "install"
+    step: int
+    m: int
+    pending: int
+    pending_size: int
+
+    def to_dict(self) -> dict:
+        return {"ev": self.kind, "step": self.step, "m": self.m,
+                "pending": self.pending, "pending_size": self.pending_size}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Install":
+        return cls(d["step"], d["m"], d["pending"], d["pending_size"])
+
+
+@dataclass(frozen=True)
+class Merge:
+    """``new`` composed with ``prev`` produced ``m`` (``#`` / ``∘``)."""
+
+    kind = "merge"
+    step: int
+    new: int
+    prev: int
+    m: int
+    pending: int
+    pending_size: int
+
+    def to_dict(self) -> dict:
+        return {"ev": self.kind, "step": self.step, "new": self.new,
+                "prev": self.prev, "m": self.m,
+                "pending": self.pending, "pending_size": self.pending_size}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Merge":
+        return cls(d["step"], d["new"], d["prev"], d["m"],
+                   d["pending"], d["pending_size"])
+
+
+@dataclass(frozen=True)
+class Collapse:
+    """A pending mediator left the continuation to be applied."""
+
+    kind = "collapse"
+    step: int
+    m: int
+    pending: int
+    pending_size: int
+
+    def to_dict(self) -> dict:
+        return {"ev": self.kind, "step": self.step, "m": self.m,
+                "pending": self.pending, "pending_size": self.pending_size}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Collapse":
+        return cls(d["step"], d["m"], d["pending"], d["pending_size"])
+
+
+@dataclass(frozen=True)
+class Apply:
+    """A mediator was applied to a value."""
+
+    kind = "apply"
+    step: int
+    m: int
+
+    def to_dict(self) -> dict:
+        return {"ev": self.kind, "step": self.step, "m": self.m}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Apply":
+        return cls(d["step"], d["m"])
+
+
+@dataclass(frozen=True)
+class BlameEvent:
+    """Evaluation allocated blame (``m``: the failing mediator, when known)."""
+
+    kind = "blame"
+    step: int
+    label: str
+    m: int | None = None
+
+    def to_dict(self) -> dict:
+        return {"ev": self.kind, "step": self.step, "label": self.label,
+                "m": self.m}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BlameEvent":
+        return cls(d["step"], d["label"], d.get("m"))
+
+
+@dataclass(frozen=True)
+class RunEnd:
+    """The run finished; carries the final stats snapshot."""
+
+    kind = "run_end"
+    outcome: str
+    steps: int
+    stats: dict
+
+    def to_dict(self) -> dict:
+        return {"ev": self.kind, "outcome": self.outcome, "steps": self.steps,
+                "stats": dict(self.stats)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunEnd":
+        return cls(d["outcome"], d["steps"], dict(d["stats"]))
+
+
+EVENT_TYPES: dict[str, type] = {
+    cls.kind: cls
+    for cls in (RunStart, MediatorDef, Install, Merge, Collapse, Apply,
+                BlameEvent, RunEnd)
+}
+
+#: Every event kind, in roughly the order a trace emits them.
+EVENT_KINDS = tuple(EVENT_TYPES)
+
+
+def event_from_dict(d: dict) -> Any:
+    """Rebuild the typed event from its ``to_dict`` form (schema round trip)."""
+    try:
+        cls = EVENT_TYPES[d["ev"]]
+    except KeyError:
+        raise ValueError(f"unknown trace event kind: {d.get('ev')!r}") from None
+    return cls.from_dict(d)
+
+
+# ---------------------------------------------------------------------------
+# Mediator introspection (engine-agnostic, lazily dispatched)
+# ---------------------------------------------------------------------------
+
+
+def mediator_labels(m: object) -> tuple[str, ...]:
+    """Every blame label reachable inside a mediator, as printed strings.
+
+    Works structurally — dataclass fields, ``__slots__``, ``__dict__``,
+    tuples — so one walk covers all four mediator families (λB casts, λC
+    coercions, λS canonical coercions, threesomes) without importing any of
+    them.  Label names embed source spans (``file:line:col``) when the front
+    end provided them, so these strings *are* the event's source spans.
+    """
+    found: list[str] = []
+    seen: set[int] = set()
+
+    def walk(node: object) -> None:
+        if node is None or isinstance(node, (str, int, float, bool)):
+            return
+        if isinstance(node, Label):
+            text = str(node)
+            if text not in found:
+                found.append(text)
+            return
+        key = id(node)
+        if key in seen:
+            return
+        seen.add(key)
+        if isinstance(node, (tuple, list)):
+            for item in node:
+                walk(item)
+            return
+        if is_dataclass(node):
+            for f in fields(node):
+                walk(getattr(node, f.name, None))
+            return
+        slots = getattr(type(node), "__slots__", None)
+        if slots:
+            for name in slots:
+                walk(getattr(node, name, None))
+            return
+        attrs = getattr(node, "__dict__", None)
+        if attrs:
+            for value in attrs.values():
+                walk(value)
+
+    walk(m)
+    return tuple(found)
+
+
+def describe_mediator(m: object, size: int | None = None) -> tuple[str, int | None, tuple[str, ...]]:
+    """``(printed form, size, labels)`` of a mediator, best effort."""
+    return str(m), size, mediator_labels(m)

@@ -1,0 +1,147 @@
+"""Pluggable trace sinks: where mediator lifecycle events go.
+
+A sink is anything with ``emit(event: dict)`` and ``close()``.  Events
+arrive as the JSON-ready dicts of :mod:`repro.obs.events`; sinks never see
+engine objects, only small ints and strings, so any sink is safe to keep
+around after the run.
+
+* :class:`ListSink` — append everything to an in-memory list (tests, the
+  ``trace`` subcommand's summary/blame-trail pass);
+* :class:`RingBufferSink` — a bounded deque keeping the most recent events
+  (always-on flight recorders that must not grow with the run);
+* :class:`JsonLinesSink` — one JSON object per line, streamed to a file;
+* :class:`ChromeTraceSink` — the Chrome trace-event JSON array (load it in
+  ``chrome://tracing`` or Perfetto): pending-mediator counts as counter
+  tracks over *steps as microseconds*, merges/applies/blame as instants;
+* :class:`TeeSink` — fan one event stream out to several sinks.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, Iterable
+
+
+class ListSink:
+    """Collect every event in order, in memory."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class RingBufferSink:
+    """Keep only the most recent ``capacity`` events — a flight recorder."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = capacity
+        self.events: deque[dict] = deque(maxlen=capacity)
+
+    def emit(self, event: dict) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonLinesSink:
+    """Stream events to a file, one JSON object per line."""
+
+    def __init__(self, path_or_handle) -> None:
+        if hasattr(path_or_handle, "write"):
+            self._handle: IO[str] = path_or_handle
+            self._owns = False
+        else:
+            self._handle = open(path_or_handle, "w")
+            self._owns = True
+        self.count = 0
+
+    def emit(self, event: dict) -> None:
+        self._handle.write(json.dumps(event, sort_keys=True))
+        self._handle.write("\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if self._owns and not self._handle.closed:
+            self._handle.close()
+        else:
+            self._handle.flush()
+
+
+class ChromeTraceSink:
+    """Translate the event stream into Chrome trace-event JSON.
+
+    Steps stand in for timestamps (``ts`` is in fake microseconds), so the
+    pending-mediator counter track plots ``steps × pending`` directly — the
+    paper's space figure, in Perfetto.  The array is buffered and written on
+    :meth:`close`.
+    """
+
+    def __init__(self, path_or_handle) -> None:
+        if hasattr(path_or_handle, "write"):
+            self._handle: IO[str] = path_or_handle
+            self._owns = False
+        else:
+            self._handle = open(path_or_handle, "w")
+            self._owns = True
+        self._events: list[dict] = []
+        self._defs: dict[int, str] = {}
+
+    def emit(self, event: dict) -> None:
+        ev = event.get("ev")
+        common = {"pid": 1, "tid": 1}
+        if ev == "mediator":
+            self._defs[event["id"]] = event["repr"]
+        elif ev in ("install", "merge", "collapse"):
+            self._events.append({
+                "name": "pending mediators", "ph": "C", "ts": event["step"],
+                "args": {"mediators": event["pending"],
+                         "size": event["pending_size"]},
+                **common,
+            })
+            if ev == "merge":
+                self._events.append({
+                    "name": "merge", "ph": "i", "ts": event["step"], "s": "t",
+                    "args": {"result": self._defs.get(event["m"], event["m"])},
+                    **common,
+                })
+        elif ev == "blame":
+            self._events.append({
+                "name": f"blame {event['label']}", "ph": "i",
+                "ts": event["step"], "s": "g", "args": {"m": event.get("m")},
+                **common,
+            })
+        elif ev == "run_end":
+            self._events.append({
+                "name": f"run_end ({event['outcome']})", "ph": "i",
+                "ts": event["steps"], "s": "g",
+                "args": {"stats": event["stats"]}, **common,
+            })
+
+    def close(self) -> None:
+        json.dump(self._events, self._handle)
+        if self._owns and not self._handle.closed:
+            self._handle.close()
+        else:
+            self._handle.flush()
+
+
+class TeeSink:
+    """Fan one event stream out to several sinks."""
+
+    def __init__(self, sinks: Iterable) -> None:
+        self.sinks = list(sinks)
+
+    def emit(self, event: dict) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()

@@ -1,0 +1,80 @@
+"""The space-profile timeline: ``steps × (pending_mediators, pending_size)``.
+
+This turns the paper's space figure — λB/λC pending casts growing linearly
+with boundary crossings while λS stays bounded — from a pair of scalar
+maxima into exportable series data.  The timeline is itself a trace sink:
+pending counts change *only* at install/merge/collapse events, so sampling
+those events reconstructs the exact step function of the run with no
+per-step cost.
+
+Long runs downsample: above ``2 × max_points`` the series rebuckets to the
+per-bucket **maximum** (ties keep the later point), which preserves exactly
+the envelope the bounded-vs-linear contrast lives in.  A bounded λS series
+stays visibly flat; a linear λC series stays visibly linear.
+
+Used by ``benchmarks/bench_space.py`` (the ``--json`` artifact carries one
+series per calculus × size) and the ``repro-gradual trace`` subcommand.
+"""
+
+from __future__ import annotations
+
+
+class SpaceTimeline:
+    """A trace sink collecting the pending-mediator step function.
+
+    Wrap another sink with ``inner=`` to tee: the timeline samples the
+    space events and forwards *everything* downstream.
+    """
+
+    def __init__(self, max_points: int = 512, inner=None) -> None:
+        self.max_points = max_points
+        self.inner = inner
+        #: (step, pending_mediators, pending_size) sample points.
+        self.points: list[tuple[int, int, int]] = []
+        #: True once downsampling has dropped intermediate points.
+        self.downsampled = False
+
+    def emit(self, event: dict) -> None:
+        ev = event.get("ev")
+        if ev == "install" or ev == "merge" or ev == "collapse":
+            self.points.append(
+                (event["step"], event["pending"], event["pending_size"])
+            )
+            if len(self.points) > 2 * self.max_points:
+                self._compress()
+        if self.inner is not None:
+            self.inner.emit(event)
+
+    def close(self) -> None:
+        if self.inner is not None:
+            self.inner.close()
+
+    def _compress(self) -> None:
+        """Rebucket to per-bucket maxima (by pending count, then size)."""
+        points = self.points
+        stride = -(-len(points) // self.max_points)  # ceil division
+        kept: list[tuple[int, int, int]] = []
+        for start in range(0, len(points), stride):
+            bucket = points[start:start + stride]
+            best = bucket[0]
+            for point in bucket[1:]:
+                if (point[1], point[2]) >= (best[1], best[2]):
+                    best = point
+            kept.append(best)
+        self.points = kept
+        self.downsampled = True
+
+    def series(self) -> dict:
+        """The timeline as parallel JSON-ready arrays plus its maxima."""
+        steps = [p[0] for p in self.points]
+        pending = [p[1] for p in self.points]
+        sizes = [p[2] for p in self.points]
+        return {
+            "steps": steps,
+            "pending_mediators": pending,
+            "pending_size": sizes,
+            "max_pending_mediators": max(pending, default=0),
+            "max_pending_size": max(sizes, default=0),
+            "points": len(self.points),
+            "downsampled": self.downsampled,
+        }

@@ -39,7 +39,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..compiler.opt import DEFAULT_OPT_LEVEL, OPT_LEVELS
-from ..compiler.vm import run_on_vm
 from ..core.errors import UsageError
 from ..core.fuel import (
     DEFAULT_MACHINE_FUEL,
@@ -54,6 +53,7 @@ from ..lambda_b import reduction as reduction_b
 from ..lambda_c import reduction as reduction_c
 from ..lambda_s import reduction as reduction_s
 from ..machine import MEDIATORS, run_on_machine
+from ..obs.metrics import phase, record_run
 from ..translate import b_to_c, c_to_s
 from .cast_insertion import elaborate_program
 from .parser import parse_program
@@ -116,10 +116,16 @@ class RunResult:
         return f"timeout after {self.steps} {self.engine} steps"
 
 
-def compile_source(source: str) -> tuple[Term, Type]:
-    """Parse and elaborate a source program into a closed λB term and its type."""
-    program = parse_program(source)
-    return elaborate_program(program)
+def compile_source(source: str, metrics=None) -> tuple[Term, Type]:
+    """Parse and elaborate a source program into a closed λB term and its type.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) gets the
+    ``parse`` and ``elaborate`` phase timers (elaboration is type checking
+    plus cast insertion — one traversal, timed as one phase)."""
+    with phase(metrics, "parse"):
+        program = parse_program(source)
+    with phase(metrics, "elaborate"):
+        return elaborate_program(program)
 
 
 def _resolve_engine(engine: str | None, use_machine: bool | None) -> str:
@@ -159,6 +165,7 @@ def run_source(
     cache: bool = False,
     cache_dir: str | None = None,
     opcode_counts: dict | None = None,
+    metrics=None,
 ) -> RunResult:
     """Run a surface program and report its outcome.
 
@@ -173,6 +180,10 @@ def run_source(
 
     ``opcode_counts`` (vm/rvm engines) is an optional dict the run fills
     with per-opcode dispatch counts — the ``--profile`` hook.
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`, or ``None``
+    for zero-cost off) collects per-phase pipeline timings (parse,
+    elaborate, lower, optimize, regalloc, cache, run), cache
+    hit/miss/corrupt counters, and the run's outcome/space counters.
     """
     resolved = _resolve_engine(engine, use_machine)
     if cache and resolved in VM_ENGINES:
@@ -182,28 +193,34 @@ def run_source(
         _validate_vm_knobs(calculus.upper(), mediator, opt_level, resolved)
         source_hash = source_fingerprint(source)
         ir = "register" if resolved == "rvm" else "stack"
-        image = cache_lookup(source_hash, opt_level, mediator, cache_dir, ir)
+        image = cache_lookup(source_hash, opt_level, mediator, cache_dir, ir,
+                             metrics=metrics)
         if image is not None:
             run_fuel = fuel if fuel is not None else DEFAULT_FUEL[resolved]
             if resolved == "rvm":
                 from ..compiler.rvm import run_rcode
 
-                outcome = run_rcode(image.rcode, run_fuel, opcode_counts=opcode_counts)
+                with phase(metrics, "run"):
+                    outcome = run_rcode(image.rcode, run_fuel,
+                                        opcode_counts=opcode_counts)
             else:
                 from ..compiler.vm import run_code
 
-                outcome = run_code(image.code, run_fuel, opcode_counts=opcode_counts)
+                with phase(metrics, "run"):
+                    outcome = run_code(image.code, run_fuel,
+                                       opcode_counts=opcode_counts)
+            record_run(metrics, outcome.kind, outcome.stats, resolved)
             return _from_machine_outcome(outcome, image.info.static_type, "S",
                                          resolved, mediator)
-        term, ty = compile_source(source)
+        term, ty = compile_source(source, metrics)
         return run_term(term, ty, calculus=calculus, fuel=fuel, engine=resolved,
                         mediator=mediator, opt_level=opt_level,
                         cache=True, cache_dir=cache_dir, source_hash=source_hash,
-                        opcode_counts=opcode_counts)
-    term, ty = compile_source(source)
+                        opcode_counts=opcode_counts, metrics=metrics)
+    term, ty = compile_source(source, metrics)
     return run_term(term, ty, calculus=calculus, use_machine=use_machine,
                     fuel=fuel, engine=engine, mediator=mediator, opt_level=opt_level,
-                    opcode_counts=opcode_counts)
+                    opcode_counts=opcode_counts, metrics=metrics)
 
 
 def run_term(
@@ -219,6 +236,7 @@ def run_term(
     cache_dir: str | None = None,
     source_hash: str | None = None,
     opcode_counts: dict | None = None,
+    metrics=None,
 ) -> RunResult:
     """Run an elaborated λB term on the chosen calculus, engine, and mediator.
 
@@ -230,7 +248,10 @@ def run_term(
     the pretty-printed term; the rvm engine caches register images under
     their own key); the tree interpreters ignore it for the same reason they
     ignore ``opt_level``.  ``opcode_counts`` (compiled engines) is an
-    optional dict filled with per-opcode dispatch counts.
+    optional dict filled with per-opcode dispatch counts.  ``metrics``
+    collects phase timings and run counters exactly as in
+    :func:`run_source` (minus the front-end phases, which happened before
+    this function was called).
     """
     calculus = calculus.upper()
     engine = _resolve_engine(engine, use_machine)
@@ -251,32 +272,43 @@ def run_term(
             ir = "register" if engine == "rvm" else "stack"
             found = cached_compile(term, source_hash=source_hash, static_type=ty,
                                    mediator=mediator, opt_level=opt_level,
-                                   cache_dir=cache_dir, ir=ir)
+                                   cache_dir=cache_dir, ir=ir, metrics=metrics)
             if ty is None:
                 ty = found.image.info.static_type
             if engine == "rvm":
                 from ..compiler.rvm import run_rcode
 
-                outcome = run_rcode(found.image.rcode, fuel,
-                                    opcode_counts=opcode_counts)
+                with phase(metrics, "run"):
+                    outcome = run_rcode(found.image.rcode, fuel,
+                                        opcode_counts=opcode_counts)
             else:
                 from ..compiler.vm import run_code
 
-                outcome = run_code(found.image.code, fuel,
-                                   opcode_counts=opcode_counts)
+                with phase(metrics, "run"):
+                    outcome = run_code(found.image.code, fuel,
+                                       opcode_counts=opcode_counts)
         elif engine == "rvm":
-            from ..compiler.rvm import run_on_rvm
+            from ..compiler.rvm import compile_term_registers, run_rcode
 
-            outcome = run_on_rvm(term, fuel, mediator=mediator, opt_level=opt_level,
-                                 opcode_counts=opcode_counts)
+            rcode = compile_term_registers(term, mediator=mediator,
+                                           opt_level=opt_level, metrics=metrics)
+            with phase(metrics, "run"):
+                outcome = run_rcode(rcode, fuel, opcode_counts=opcode_counts)
         else:
-            outcome = run_on_vm(term, fuel, mediator=mediator, opt_level=opt_level,
-                                opcode_counts=opcode_counts)
+            from ..compiler.vm import compile_term, run_code
+
+            code = compile_term(term, mediator=mediator, opt_level=opt_level,
+                                metrics=metrics)
+            with phase(metrics, "run"):
+                outcome = run_code(code, fuel, opcode_counts=opcode_counts)
+        record_run(metrics, outcome.kind, outcome.stats, engine)
         return _from_machine_outcome(outcome, ty, calculus, engine, mediator)
 
     if engine == "machine":
         # run_on_machine validates the calculus × mediator combination.
-        outcome = run_on_machine(term, calculus, fuel, mediator=mediator)
+        with phase(metrics, "run"):
+            outcome = run_on_machine(term, calculus, fuel, mediator=mediator)
+        record_run(metrics, outcome.kind, outcome.stats, engine)
         return _from_machine_outcome(outcome, ty, calculus, engine, mediator)
 
     if mediator != "coercion":
@@ -284,14 +316,16 @@ def run_term(
             "engine 'subst' reduces coercion terms literally and has no "
             "threesome backend; use engine='machine' or engine='vm'"
         )
-    if calculus == "B":
-        outcome = reduction_b.run(term, fuel)
-    elif calculus == "C":
-        outcome = reduction_c.run(b_to_c(term), fuel)
-    elif calculus == "S":
-        outcome = reduction_s.run(c_to_s(b_to_c(term)), fuel)
-    else:
-        raise ValueError(f"unknown calculus {calculus!r}")
+    with phase(metrics, "run"):
+        if calculus == "B":
+            outcome = reduction_b.run(term, fuel)
+        elif calculus == "C":
+            outcome = reduction_c.run(b_to_c(term), fuel)
+        elif calculus == "S":
+            outcome = reduction_s.run(c_to_s(b_to_c(term)), fuel)
+        else:
+            raise ValueError(f"unknown calculus {calculus!r}")
+    record_run(metrics, outcome.kind, {"steps": outcome.steps}, engine)
     if outcome.is_value:
         # Same projection as the machine/VM engines' python_value(), so every
         # engine's RunResult.value is directly comparable.

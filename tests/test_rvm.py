@@ -267,9 +267,23 @@ class TestCLI:
         assert profile["dispatches"] == sum(profile["opcodes"].values()) > 0
         assert set(profile["inline_cache"]) == {"hits", "misses", "hit_rate"}
 
-    def test_profile_rejects_tree_engines(self, square_program, capsys):
-        assert cli_main(["run", square_program, "--profile"]) == 2
+    def test_profile_rejects_subst_engine(self, square_program, capsys):
+        assert cli_main(["run", square_program, "--engine", "subst",
+                         "--profile"]) == 2
         assert "--profile" in capsys.readouterr().err
+
+    def test_profile_covers_machine_engine(self, square_program, capsys):
+        # The CEK machine has no opcode stream, but the metrics-backed
+        # profile (space stats + phase timings) applies to it too.
+        assert cli_main(["run", square_program, "--engine", "machine",
+                         "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "36 : int" in captured.out
+        profile = json.loads(captured.err)
+        assert profile["engine"] == "machine"
+        assert "opcodes" not in profile
+        assert "steps" in profile["space"]
+        assert "run" in profile["metrics"]["phases"]
 
     def test_compile_ir_register_prints_rcode_streams(self, square_program, capsys):
         assert cli_main(["compile", square_program, "--ir", "register"]) == 0

@@ -287,8 +287,10 @@ class TestCompileCache:
         def explode(*_args, **_kwargs):  # pragma: no cover - the point is no call
             raise AssertionError("the warm path re-entered the front end")
 
+        import repro.compiler.vm as vm
+
         monkeypatch.setattr(interp, "compile_source", explode)
-        monkeypatch.setattr(interp, "run_on_vm", explode)
+        monkeypatch.setattr(vm, "compile_term", explode)
         warm = run_source(SQUARE, engine="vm", cache=True, cache_dir=str(tmp_path))
         assert warm.is_value and warm.value == 36
 
