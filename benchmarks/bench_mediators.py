@@ -1,23 +1,35 @@
-"""Experiment: threesomes versus λS coercions — composition *and* execution.
+"""Experiment: the enforcement-semantics sweep — composition *and* execution.
 
-Siek & Wadler (2010)'s threesomes are "easy to compute, but hard to
-understand"; λS's canonical coercions are both.  This benchmark compares the
-two presentations at two levels:
+Grown out of the threesome-versus-``#`` benchmark (the suite keeps its
+``threesomes`` name so the artifact stays ``BENCH_threesomes.json`` and old
+measurement names remain comparable), this now sweeps the full
+:mod:`repro.semantics` registry:
 
 * **composition micro-benchmarks** (the original §6.1 experiment): folding
   long boundary chains and random composable pairs with ``∘`` versus ``#``,
   asserting identical results through the representation map;
 * **full engine comparison**: the λS CEK machine and the bytecode VM run the
-  boundary workloads under both mediator backends (``mediator="coercion"``
-  vs ``mediator="threesome"``).  Outcomes and space profiles must agree
-  (``check_mediator_oracle``); the JSON records per-workload speedups and the
-  ``max_pending_mediators`` footprint of every engine × backend cell.  The
-  λS space guarantee is *asserted*, not just recorded: on boundary-heavy
-  workloads the VM must report ``max_pending_mediators == 1`` under both
-  representations (one composed pending slot per frame), and the pure tail
-  loop must report 1 on the CEK machine too (the machine holds a short
-  transient second mediator on workloads that return through a non-tail
-  cast, so those assert a constant ≤ 2).
+  boundary workloads under every registered semantics.  The Natural pair
+  (``coercion``, ``threesome``) must agree on every observable with
+  *identical* pending footprints (``check_mediator_oracle`` asserts the
+  whole 4-backend matrix first); Transient and Erasure are the two ends of
+  the enforcement spectrum the blame-evaluation literature compares
+  Natural against:
+
+  - ``{engine}/erasure_vs_coercion/{workload}`` records the **speed
+    ceiling** — what enforcement costs at all (erasure elides every
+    mediator at ``-O1+``, so > 1.0 means Natural is paying measurable
+    enforcement overhead);
+  - ``{engine}/transient_vs_coercion/{workload}`` records the **shallow
+    check trade** — tag checks without proxies, whose blame may diverge
+    from Natural by design.
+
+  The λS space guarantee is *asserted* for every ``space_bounded`` backend,
+  not just recorded: on boundary-heavy workloads the VM must report
+  ``max_pending_mediators ≤ 1`` (one composed pending slot per frame), and
+  the pure tail loop must report 1 on the CEK machine too (the machine
+  holds a short transient second mediator on workloads that return through
+  a non-tail cast, so those assert a constant ≤ 2).
 """
 
 from __future__ import annotations
@@ -42,6 +54,7 @@ from repro.gen.programs import (
 from repro.lambda_s.coercions import compose
 from repro.machine import run_on_machine
 from repro.properties.bisimulation import check_mediator_oracle
+from repro.semantics import SEMANTICS, SEMANTICS_NAMES
 from repro.threesomes import compose_labeled, labeled_of_coercion
 from repro.translate.b_to_s import cast_to_space
 
@@ -56,15 +69,19 @@ def _boundary_chain(length: int):
 
 #: The engine-comparison workloads: (name, λB term, boundary_heavy?,
 #: pure_tail?).  The boundary-heavy ones are the λS space story — loops whose
-#: pending mediators must stay constant under both backends; the pure tail
-#: loop additionally keeps a *single* composed pending mediator on both
-#: engines (``max_pending_mediators == 1``).
+#: pending mediators must stay constant under every space-bounded backend;
+#: the pure tail loop additionally keeps a *single* composed pending mediator
+#: on both engines (``max_pending_mediators == 1``).
 ENGINE_WORKLOADS = [
     ("even_odd_boundary_400", even_odd_boundary(400), True, False),
     ("tail_countdown_400", tail_countdown_boundary(400), True, True),
     ("typed_loop_200", typed_loop_untyped_step(200), True, False),
     ("fib_boundary_13", fib_boundary(13), False, False),
 ]
+
+#: The two Natural presentations — the original experiment's pair, held to
+#: strict observational equality (identical footprints included).
+NATURAL = ("coercion", "threesome")
 
 
 def _compose_microbenchmarks(suite: harness.Suite) -> None:
@@ -108,25 +125,26 @@ def _compose_microbenchmarks(suite: harness.Suite) -> None:
 
 def _engine_comparison(suite: harness.Suite) -> None:
     for name, term, boundary_heavy, pure_tail in ENGINE_WORKLOADS:
+        # The whole 4-backend × {machine, vm, rvm} matrix, before timing.
         report = check_mediator_oracle(term)
         assert report.ok, f"{name}: {report.reason}"
 
         cells: dict[tuple[str, str], harness.Measurement] = {}
         pendings: dict[tuple[str, str], int] = {}
 
-        for backend in ("coercion", "threesome"):
+        for backend in SEMANTICS_NAMES:
             outcome = run_on_machine(term, "S", mediator=backend)
             pendings[("machine", backend)] = outcome.stats["max_pending_mediators"]
             cells[("machine", backend)] = suite.measure(
                 f"machine/{backend}/{name}",
                 lambda backend=backend: run_on_machine(term, "S", mediator=backend),
                 check=lambda r, outcome=outcome: r.kind == outcome.kind,
-                engine="machine", mediator=backend, workload=name,
+                engine="machine", semantics=backend, workload=name,
                 boundary_heavy=boundary_heavy,
                 max_pending_mediators=outcome.stats["max_pending_mediators"],
             )
 
-        for backend in ("coercion", "threesome"):
+        for backend in SEMANTICS_NAMES:
             code = compile_term(term, mediator=backend)
             outcome = run_code(code)
             pendings[("vm", backend)] = outcome.stats["max_pending_mediators"]
@@ -134,7 +152,7 @@ def _engine_comparison(suite: harness.Suite) -> None:
                 f"vm/{backend}/{name}",
                 lambda code=code: run_code(code),
                 check=lambda r, outcome=outcome: r.kind == outcome.kind,
-                engine="vm", mediator=backend, workload=name,
+                engine="vm", semantics=backend, workload=name,
                 boundary_heavy=boundary_heavy,
                 max_pending_mediators=outcome.stats["max_pending_mediators"],
             )
@@ -142,31 +160,41 @@ def _engine_comparison(suite: harness.Suite) -> None:
         for engine in ("machine", "vm"):
             pending_coercion = pendings[(engine, "coercion")]
             pending_threesome = pendings[(engine, "threesome")]
-            # The space guarantee itself, not just backend parity: boundary
-            # loops keep one pending slot per VM frame under either
-            # representation, and the pure tail loop keeps exactly one on
-            # the machine too (others hold a transient second — constant).
+            # The Natural pair changes only what a pending mediator *is*,
+            # so its footprints must be identical, not merely bounded.
             assert pending_coercion == pending_threesome, (
-                f"{engine}/{name}: pending footprints diverge across backends "
-                f"({pending_coercion} vs {pending_threesome})"
+                f"{engine}/{name}: pending footprints diverge across the "
+                f"Natural backends ({pending_coercion} vs {pending_threesome})"
             )
             if boundary_heavy:
+                # The space guarantee itself, for every space-bounded
+                # backend: one pending slot per VM frame; the machine holds
+                # a transient second on non-tail returns (constant ≤ 2).
                 bound = 1 if (engine == "vm" or pure_tail) else 2
-                assert pending_coercion <= bound, (
-                    f"{engine}/{name}: max_pending_mediators "
-                    f"{pending_coercion} > {bound}"
-                )
+                for backend in SEMANTICS_NAMES:
+                    if not SEMANTICS[backend].space_bounded:
+                        continue
+                    assert pendings[(engine, backend)] <= bound, (
+                        f"{engine}/{backend}/{name}: max_pending_mediators "
+                        f"{pendings[(engine, backend)]} > {bound}"
+                    )
             coercion_best = cells[(engine, "coercion")].best_s
-            threesome_best = cells[(engine, "threesome")].best_s
-            suite.record(
-                f"{engine}/threesome_vs_coercion/{name}",
-                engine=engine, workload=name, boundary_heavy=boundary_heavy,
-                # > 1.0 means the threesome backend is faster.
-                speedup=round(coercion_best / threesome_best, 3),
-                pending_coercion=pending_coercion,
-                pending_threesome=pending_threesome,
-                pending_equal_backends=(pending_coercion == pending_threesome),
-            )
+            for backend in ("threesome", "transient", "erasure"):
+                # > 1.0 means this backend is faster than coercion; for
+                # erasure that ratio is the cost of enforcement itself
+                # (the speed ceiling), for transient the shallow-check
+                # trade.  The threesome record keeps its historical name.
+                suite.record(
+                    f"{engine}/{backend}_vs_coercion/{name}",
+                    engine=engine, workload=name, boundary_heavy=boundary_heavy,
+                    speedup=round(coercion_best / cells[(engine, backend)].best_s, 3),
+                    pending_coercion=pending_coercion,
+                    pending_backend=pendings[(engine, backend)],
+                    pending_equal_backends=(
+                        pendings[(engine, backend)] == pending_coercion
+                    ),
+                    blames=SEMANTICS[backend].blames,
+                )
 
 
 def build_suite(repeat: int) -> harness.Suite:
@@ -218,6 +246,16 @@ def test_random_pair_composition(benchmark, algorithm):
     benchmark.extra_info["algorithm"] = algorithm
     benchmark.extra_info["pairs"] = len(pairs)
     assert results == run_sharp()
+
+
+@pytest.mark.benchmark(group="mediators-engine")
+@pytest.mark.parametrize("semantics", list(SEMANTICS_NAMES))
+def test_vm_under_each_semantics(benchmark, semantics):
+    term = even_odd_boundary(400)
+    code = compile_term(term, mediator=semantics)
+    outcome = benchmark(lambda: run_code(code))
+    benchmark.extra_info["semantics"] = semantics
+    assert outcome.is_value and outcome.python_value() is True
 
 
 if __name__ == "__main__":

@@ -108,7 +108,42 @@ def main() -> int:
         if current < floor:
             status = 1
     status |= trace_overhead_gate(by_name, fastest)
+    status |= erasure_ceiling_gate()
     return status
+
+
+def erasure_ceiling_gate() -> int:
+    """Gate: Erasure is the speed ceiling — Natural must pay for enforcement.
+
+    On the boundary-heavy workloads (where mediation actually runs), the
+    erasure backend elides every mediator at ``-O1+``; if it is not at least
+    as fast as the Natural (coercion) backend in geomean, either the elision
+    broke or the Natural backend got a free lunch that should be
+    investigated.  Measured live on this box across both engines — speedup
+    ratios, like the gates above, are machine-stable.
+    """
+    from bench_mediators import ENGINE_WORKLOADS
+
+    from repro.machine import run_on_machine
+
+    ratios = []
+    for name, term, boundary_heavy, _ in ENGINE_WORKLOADS:
+        if not boundary_heavy:
+            continue
+        code_natural = compile_term(term, mediator="coercion")
+        code_erased = compile_term(term, mediator="erasure")
+        vm_ratio = _best(code_natural) / _best(code_erased)
+        machine_ratio = _best(term, runner=lambda t: run_on_machine(t, "S")) / _best(
+            term, runner=lambda t: run_on_machine(t, "S", mediator="erasure"))
+        ratios.extend([vm_ratio, machine_ratio])
+        print(f"perf-smoke: erasure ceiling on {name}: vm {vm_ratio:.2f}x, "
+              f"machine {machine_ratio:.2f}x")
+
+    ceiling = geomean(ratios)
+    verdict = "ok" if ceiling >= 1.0 else "REGRESSION"
+    print(f"perf-smoke: erasure over coercion geomean {ceiling:.2f}x "
+          f"(floor 1.00x): {verdict}")
+    return 0 if ceiling >= 1.0 else 1
 
 
 def trace_overhead_gate(by_name: dict, fastest: list[str]) -> int:

@@ -189,8 +189,13 @@ def run_batch(
     on_result: Callable[[dict], None] | None = None,
     metrics=None,
     trace_sink=None,
+    semantics: str | None = None,
 ) -> tuple[list[dict], dict]:
     """Compile a corpus once and execute it across a worker pool.
+
+    ``semantics`` (overriding the legacy ``mediator`` spelling) names the
+    enforcement semantics every program compiles and runs under — any entry
+    of the :data:`~repro.semantics.SEMANTICS` registry.
 
     Returns ``(results, aggregate)``: one dict per program (see
     :func:`_execute_job` for the execution fields; front-end failures carry
@@ -209,6 +214,11 @@ def run_batch(
     inline execution (the tracer is process-global state a pool cannot
     share), with each run's ``run_start`` carrying the program name.
     """
+    from ..semantics import resolve
+
+    if semantics is not None:
+        mediator = semantics
+    resolve(mediator)  # fail fast on an unknown semantics name
     wall_start = time.perf_counter()
     corpus = discover_programs(paths)
     fuel = fuel if fuel is not None else DEFAULT_VM_FUEL

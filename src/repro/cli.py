@@ -6,9 +6,10 @@ Installed as ``repro-gradual``.  Subcommands:
   calculus with ``--calculus``, the engine with ``--engine``: the CEK
   machine by default, the stack bytecode VM with ``--engine vm``, the
   register VM with ``--engine rvm`` (packed-stream dispatch; fastest), or
-  the substitution-based reference oracle; the pending-mediator
-  representation with ``--mediator``: λS coercions composed with ``#`` by
-  default, or threesomes composed with labeled-type ``∘``; and the VMs'
+  the substitution-based reference oracle; the enforcement semantics with
+  ``--semantics``: λS coercions composed with ``#`` by default, threesomes
+  composed with labeled-type ``∘``, transient tag checks, or erasure
+  (``--mediator`` survives as a deprecated alias); and the VMs'
   optimization level with ``-O {0,1,2}``, default ``-O2``).  ``FILE`` may
   also be a serialized ``.gradb`` bytecode image, which runs directly —
   no front end at all — on the engine its IR fixes (vm for stack images,
@@ -26,7 +27,7 @@ Installed as ``repro-gradual``.  Subcommands:
   constant pool (``--ir register`` prints the packed register streams
   instead), or with ``-o IMAGE.gradb`` serialize a versioned binary image
   (``--ir register`` embeds the register streams too, so the image runs on
-  the rvm engine; ``--mediator threesome`` pre-interns labeled types;
+  the rvm engine; ``--semantics threesome`` pre-interns labeled types;
   ``-O`` selects the optimizer level).  Given an existing ``.gradb`` file,
   prints its provenance and disassembly.
 * ``batch PATH...``   — compile a corpus (directories of ``*.grad``,
@@ -65,6 +66,7 @@ from .core.errors import ParseError, ReproError, TypeCheckError
 from .core.pretty import term_to_str
 from .gen.programs import even_odd_boundary
 from .machine import run_on_machine
+from .semantics import NATURAL_SEMANTICS_NAMES, SEMANTICS_NAMES
 from .surface.cast_insertion import elaborate_program
 from .surface.interp import run_source
 from .surface.parser import parse_program
@@ -77,6 +79,30 @@ EXIT_STATIC_ERROR = 2
 EXIT_TIMEOUT = 3
 
 _OUTCOME_EXIT_CODES = {"value": EXIT_VALUE, "blame": EXIT_BLAME, "timeout": EXIT_TIMEOUT}
+
+
+def _resolve_semantics(args: argparse.Namespace) -> str | None:
+    """The requested enforcement semantics, or ``None`` if neither flag was
+    given.  ``--mediator`` survives as a deprecated alias of ``--semantics``
+    (it predates the Transient/Erasure backends and names the two Natural
+    representations only); using it warns on stderr."""
+    mediator = getattr(args, "mediator", None)
+    semantics = getattr(args, "semantics", None)
+    if mediator is not None:
+        print(
+            "warning: --mediator is deprecated; use --semantics "
+            f"{{{','.join(SEMANTICS_NAMES)}}} instead",
+            file=sys.stderr,
+        )
+        if semantics is not None and semantics != mediator:
+            from .core.errors import UsageError
+
+            raise UsageError(
+                f"--mediator {mediator} contradicts --semantics {semantics}; "
+                "drop the deprecated --mediator flag"
+            )
+        return mediator
+    return semantics
 
 
 def _load_program(path: str):
@@ -176,6 +202,7 @@ def _run_image(args: argparse.Namespace) -> int:
     fixed = {
         "--engine": args.engine not in (None, engine),
         "--calculus": args.calculus is not None,
+        "--semantics": args.semantics is not None,
         "--mediator": args.mediator is not None,
         "-O/--opt-level": args.opt_level is not None,
         "--small-step": args.small_step,
@@ -184,7 +211,7 @@ def _run_image(args: argparse.Namespace) -> int:
     if offending:
         raise UsageError(
             f"{', '.join(offending)} cannot apply to a compiled .gradb image: "
-            f"its engine ({engine}), calculus (S), mediator, and -O level were "
+            f"its engine ({engine}), calculus (S), semantics, and -O level were "
             "fixed at compile time (see `repro-gradual compile IMAGE` for its "
             "provenance)"
         )
@@ -251,7 +278,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             source,
             calculus=args.calculus or "S",
             engine=engine,
-            mediator=args.mediator or "coercion",
+            mediator=_resolve_semantics(args) or "coercion",
             fuel=args.fuel,
             opt_level=args.opt_level if args.opt_level is not None else 2,
             cache=not args.no_cache,
@@ -293,7 +320,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         return EXIT_VALUE
     source = Path(args.file).read_text()
     term, ty = elaborate_program(parse_program(source))
-    code = compile_term(term, mediator=args.mediator, opt_level=args.opt_level)
+    code = compile_term(term, mediator=_resolve_semantics(args) or "coercion",
+                        opt_level=args.opt_level)
     if args.output is not None:
         save_image(code, args.output, source_hash=source_fingerprint(source),
                    static_type=ty, ir=args.ir)
@@ -327,7 +355,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         args.paths,
         workers=args.workers,
         fuel=args.fuel,
-        mediator=args.mediator,
+        mediator=_resolve_semantics(args) or "coercion",
         opt_level=args.opt_level,
         use_cache=not args.no_cache,
         on_result=emit,
@@ -389,7 +417,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             source,
             calculus=args.calculus or "S",
             engine=engine,
-            mediator=args.mediator or "coercion",
+            mediator=_resolve_semantics(args) or "coercion",
             fuel=args.fuel,
             opt_level=args.opt_level if args.opt_level is not None else 2,
             cache=not args.no_cache,
@@ -473,10 +501,16 @@ def build_parser() -> argparse.ArgumentParser:
                                  "stack bytecode VM, the register VM (packed-stream "
                                  "dispatch; fastest), or the substitution-based "
                                  "reference oracle")
-    run_parser.add_argument("--mediator", choices=["coercion", "threesome"], default=None,
-                            help="pending-mediator representation of the λS machine/VM: "
-                                 "canonical coercions merged with # (default) or threesomes "
-                                 "(labeled types) merged with labeled-type composition")
+    run_parser.add_argument("--semantics", choices=list(SEMANTICS_NAMES), default=None,
+                            help="enforcement semantics of the λS machine/VM: coercion "
+                                 "(Natural via canonical coercions merged with #, the "
+                                 "default), threesome (Natural via labeled types merged "
+                                 "with ∘), transient (shallow tag checks; blame labels "
+                                 "may differ from Natural), or erasure (no enforcement; "
+                                 "never exits 1)")
+    run_parser.add_argument("--mediator", choices=list(NATURAL_SEMANTICS_NAMES), default=None,
+                            help="deprecated alias for --semantics (Natural backends "
+                                 "only; warns on stderr)")
     run_parser.add_argument("--small-step", action="store_true",
                             help="alias for --engine subst (the paper-faithful small-step reducer)")
     run_parser.add_argument("-O", "--opt-level", type=int, choices=[0, 1, 2], default=None,
@@ -512,8 +546,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--engine", choices=["vm", "rvm", "machine"], default=None,
                               help="execution engine (default machine; the subst "
                                    "oracle has no mediator hooks and cannot trace)")
-    trace_parser.add_argument("--mediator", choices=["coercion", "threesome"],
-                              default=None)
+    trace_parser.add_argument("--semantics", choices=list(SEMANTICS_NAMES), default=None,
+                              help="enforcement semantics to trace under (default coercion)")
+    trace_parser.add_argument("--mediator", choices=list(NATURAL_SEMANTICS_NAMES),
+                              default=None,
+                              help="deprecated alias for --semantics")
     trace_parser.add_argument("-O", "--opt-level", type=int, choices=[0, 1, 2],
                               default=None)
     trace_parser.add_argument("--format", choices=["jsonl", "chrome"], default="jsonl",
@@ -534,9 +571,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "or write a serialized .gradb image"
     )
     compile_parser.add_argument("file")
-    compile_parser.add_argument("--mediator", choices=["coercion", "threesome"], default="coercion",
-                                help="mediator-pool representation: interned canonical "
-                                     "coercions (default) or pre-translated threesomes")
+    compile_parser.add_argument("--semantics", choices=list(SEMANTICS_NAMES), default=None,
+                                help="enforcement semantics of the mediator pool: interned "
+                                     "canonical coercions (coercion, the default), "
+                                     "pre-translated threesomes, transient tag checks, or "
+                                     "the erased no-op token")
+    compile_parser.add_argument("--mediator", choices=list(NATURAL_SEMANTICS_NAMES),
+                                default=None,
+                                help="deprecated alias for --semantics")
     compile_parser.add_argument("-O", "--opt-level", type=int, choices=[0, 1, 2], default=2,
                                 help="optimizer level to disassemble at (default 2; "
                                      "compare against -O0 to see the rewrites)")
@@ -560,7 +602,12 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(one path per line), or program files")
     batch_parser.add_argument("--workers", type=int, default=1,
                               help="multiprocessing pool size (default 1: run inline)")
-    batch_parser.add_argument("--mediator", choices=["coercion", "threesome"], default="coercion")
+    batch_parser.add_argument("--semantics", choices=list(SEMANTICS_NAMES), default=None,
+                              help="enforcement semantics to compile and run the corpus "
+                                   "under (default coercion)")
+    batch_parser.add_argument("--mediator", choices=list(NATURAL_SEMANTICS_NAMES),
+                              default=None,
+                              help="deprecated alias for --semantics")
     batch_parser.add_argument("-O", "--opt-level", type=int, choices=[0, 1, 2], default=2)
     batch_parser.add_argument("--fuel", type=int, default=None)
     batch_parser.add_argument("--no-cache", action="store_true",

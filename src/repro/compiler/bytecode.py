@@ -79,7 +79,7 @@ from ..core.ops import OpSpec, op_spec
 from ..core.types import Type
 from ..lambda_s.coercions import SpaceCoercion, intern_space
 from ..machine.values import MConst
-from ..threesomes.runtime import threesome_of_coercion
+from ..semantics import resolve
 
 # Opcodes are plain module-level ints: the VM loads them into loop locals and
 # dispatches with integer comparisons ordered by dynamic frequency.
@@ -231,14 +231,15 @@ class ConstantPool:
     identity of pool entries is therefore stable across compilations of the
     same program (tested by ``tests/test_compiler.py``).
 
-    ``mediator`` selects the representation of the pool's mediator entries —
-    and therefore of every ``COERCE``/``COMPOSE`` operand the VM touches:
-    ``"coercion"`` stores interned canonical coercions (merged at run time
-    with the memoised ``#``), ``"threesome"`` pre-translates each coercion to
-    an interned runtime :class:`~repro.threesomes.runtime.Threesome` (merged
-    with memoised labeled-type composition ``∘``).  The conversion happens
-    once, at pool-construction time, so the VM's hot loop never sees the
-    other representation.
+    ``mediator`` names the pool's enforcement semantics — and therefore the
+    representation of every ``COERCE``/``COMPOSE`` operand the VM touches:
+    each canonical coercion is pre-interned into the backend's runtime form
+    by the :data:`~repro.semantics.SEMANTICS` registry's ``pre_intern`` hook
+    (canonical coercions for ``"coercion"``, interned runtime threesomes for
+    ``"threesome"``, tag-check sequences for ``"transient"``, the single
+    no-op token for ``"erasure"``).  The conversion happens once, at
+    pool-construction time, so the VM's hot loop never sees another
+    representation.
     """
 
     consts: list[object] = field(default_factory=list)
@@ -267,9 +268,7 @@ class ConstantPool:
         return self.add_const(MConst(value, ty))
 
     def add_coercion(self, coercion: SpaceCoercion) -> int:
-        canon: object = intern_space(coercion)
-        if self.mediator == "threesome":
-            canon = threesome_of_coercion(canon)
+        canon = resolve(self.mediator).pre_intern(intern_space(coercion))
         return self.add_canonical_mediator(canon)
 
     def add_canonical_mediator(self, canon: object) -> int:

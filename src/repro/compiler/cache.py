@@ -68,13 +68,18 @@ def cache_key(source_hash: str, opt_level: int, mediator: str, ir: str = "stack"
     register image never collides with a stack image of the same source —
     and register keys also cover the register instruction set's own
     fingerprint (a renumbering invalidates register entries only)."""
+    from ..semantics import resolve
+
     digest = hashlib.sha256()
     digest.update(f"gradb-v{FORMAT_VERSION}\x00".encode())
     digest.update(opcode_fingerprint())
     if ir != "stack":
         digest.update(f"\x00ir={ir}\x00".encode())
         digest.update(register_fingerprint())
-    digest.update(f"\x00{source_hash}\x00{opt_level}\x00{mediator}".encode())
+    # The enforcement-semantics axis comes from the registry, so renaming or
+    # re-versioning a backend's key invalidates exactly its own entries.
+    axis = resolve(mediator).cache_key
+    digest.update(f"\x00{source_hash}\x00{opt_level}\x00{axis}".encode())
     return digest.hexdigest()
 
 

@@ -231,13 +231,17 @@ def lower_program(
 ) -> CodeObject:
     """Compile a closed λS term to the entry code object of a program.
 
-    ``mediator`` selects the representation of the program's mediator pool
-    (and hence of every ``COERCE``/``COMPOSE`` operand): interned canonical
-    coercions (``"coercion"``, the default) or pre-translated interned
-    threesomes (``"threesome"``).  Identity coercions are dropped either way
-    — they are identity threesomes too.
+    ``mediator`` names the enforcement semantics of the program's mediator
+    pool (and hence of every ``COERCE``/``COMPOSE`` operand) — any entry of
+    the :data:`~repro.semantics.SEMANTICS` registry: interned canonical
+    coercions (``"coercion"``, the default), pre-translated interned
+    threesomes (``"threesome"``), transient tag checks (``"transient"``),
+    or the erased no-op token (``"erasure"``).  Identity coercions are
+    dropped either way — they are identities in every backend.
     """
-    if mediator not in ("coercion", "threesome"):
+    from ..semantics import SEMANTICS
+
+    if mediator not in SEMANTICS:
         raise CompileError(f"unknown mediator backend {mediator!r}")
     pool = ConstantPool(mediator=mediator)
     builder = _CodeBuilder(name, pool, free=(), param=None)

@@ -48,7 +48,8 @@ against ``-O2`` on both mediator backends.
 
 from __future__ import annotations
 
-from ..machine.policy import SPACE_POLICY, THREESOME_POLICY, MediationPolicy
+from ..machine.policy import MediationPolicy
+from ..semantics import policy_for
 from .bytecode import (
     COERCE,
     COMPOSE,
@@ -69,12 +70,6 @@ OPT_LEVELS = (0, 1, 2)
 
 #: The default level everywhere: full optimization.
 DEFAULT_OPT_LEVEL = 2
-
-#: The mediation policies per pool representation (the same instances the
-#: VM executes with, so ``is_identity``/``compose`` agree by construction).
-_POLICIES: dict[str, MediationPolicy] = {
-    policy.mediator: policy for policy in (SPACE_POLICY, THREESOME_POLICY)
-}
 
 #: ``(op1, op2) -> fused`` — the peephole table, inverted from the opcode
 #: metadata so the two stay in sync by construction.
@@ -228,7 +223,7 @@ def optimize(code: CodeObject, level: int = DEFAULT_OPT_LEVEL) -> CodeObject:
     code.opt_level = level
     if level == 0:
         return code
-    policy = _POLICIES[code.pool.mediator]
+    policy = policy_for(code.pool.mediator)
     for obj in all_code_objects(code):
         while _elide_and_precompose(obj, policy):
             pass

@@ -91,7 +91,8 @@ from .regalloc import (
     RCode,
     _convert_code,
 )
-from .vm import VM_BACKENDS, _make_fix_apply_code, _pool_tables, _project
+from ..semantics import policy_for
+from .vm import _make_fix_apply_code, _pool_tables, _project
 
 
 class RClosure(MFunctionValue):
@@ -154,7 +155,7 @@ class RVM:
         prims = pool.prims
         rcodes = getattr(pool, "rcodes", ())
 
-        policy = VM_BACKENDS[pool.mediator]
+        policy = policy_for(pool.mediator)
         # The observability hook: fetched once per run, tested with one
         # `is not None` at mediator lifecycle sites only — never on the
         # per-dispatch path — so untraced runs pay ~nothing and traced

@@ -78,6 +78,9 @@ from ..threesomes.labeled_types import (
     LProd,
     LabeledType,
 )
+from ..semantics import SEMANTICS_NAMES
+from ..semantics.erasure import ERASED, ErasedMediator
+from ..semantics.transient import TransientCheck, intern_transient
 from ..threesomes.runtime import Threesome, intern_labeled, intern_threesome
 from .bytecode import CodeObject, ConstantPool, opcode_fingerprint
 from .regalloc import R_SIGS, RCode, compile_registers, register_fingerprint
@@ -478,12 +481,26 @@ def _write_mediator(out: bytearray, tables: _Tables, mediator: str, entry: objec
         if not isinstance(entry, SpaceCoercion):
             raise ImageError(f"coercion pool holds a non-coercion entry: {entry!r}")
         _write_varint(out, _tables_coercion_ref(tables, entry))
-    else:
+    elif mediator == "threesome":
         if not isinstance(entry, Threesome):
             raise ImageError(f"threesome pool holds a non-threesome entry: {entry!r}")
         _write_varint(out, tables.type_ref(entry.source))
         _write_varint(out, _tables_labeled_ref(tables, entry.mid))
         _write_varint(out, tables.type_ref(entry.target))
+    elif mediator == "transient":
+        if not isinstance(entry, TransientCheck):
+            raise ImageError(f"transient pool holds a non-check entry: {entry!r}")
+        _write_varint(out, len(entry.checks))
+        for ground, label in entry.checks:
+            _write_varint(out, tables.type_ref(ground))
+            _write_varint(out, tables.label_ref(label))
+        _write_opt_label(out, tables, entry.fail)
+    elif mediator == "erasure":
+        if not isinstance(entry, ErasedMediator):
+            raise ImageError(f"erasure pool holds a non-erased entry: {entry!r}")
+        # The token carries no data; the entry count alone reconstructs it.
+    else:
+        raise ImageError(f"cannot serialize mediator pool for semantics {mediator!r}")
 
 
 def _write_const(out: bytearray, tables: _Tables, entry: object) -> None:
@@ -982,8 +999,11 @@ def deserialize_image(data: bytes, validate: bool = True) -> LoadedImage:
         )
 
     mediator = reader.string()
-    if mediator not in ("coercion", "threesome"):
-        raise ImageError(f"unknown mediator backend in image: {mediator!r}")
+    if mediator not in SEMANTICS_NAMES:
+        raise ImageError(
+            f"enforcement-semantics mismatch: image carries semantics id "
+            f"{mediator!r}, this library reads {SEMANTICS_NAMES}"
+        )
     ir = reader.string()
     if ir not in IMAGE_IRS:
         raise ImageError(f"unknown image IR: {ir!r}")
@@ -1018,7 +1038,7 @@ def deserialize_image(data: bytes, validate: bool = True) -> LoadedImage:
     for index in range(reader.varint()):
         if mediator == "coercion":
             entry: object = _table_ref(reader, coercion_nodes, "coercion")
-        else:
+        elif mediator == "threesome":
             source = _table_ref(reader, types, "type")
             mid = _table_ref(reader, labeled_nodes, "labeled type")
             target = _table_ref(reader, types, "type")
@@ -1026,6 +1046,19 @@ def deserialize_image(data: bytes, validate: bool = True) -> LoadedImage:
                 ("3some", id(source), id(mid), id(target)),
                 lambda: Threesome(source, mid, target), intern_threesome,
             )
+        elif mediator == "transient":
+            checks = []
+            for _ in range(reader.varint()):
+                ground = _table_ref(reader, types, "type")
+                label = _table_ref(reader, labels, "label")
+                checks.append((ground, label))
+            fail_ref = reader.signed()
+            if fail_ref >= len(labels):
+                raise ImageError(f"out-of-range label reference in image: {fail_ref}")
+            fail = labels[fail_ref] if fail_ref >= 0 else None
+            entry = intern_transient(TransientCheck(tuple(checks), fail))
+        else:  # erasure: the entry is the no-op token, no payload bytes
+            entry = ERASED
         if pool.add_canonical_mediator(entry) != index:
             raise ImageError("duplicate mediator-pool entry in image")
     for index in range(reader.varint()):

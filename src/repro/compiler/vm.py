@@ -50,15 +50,16 @@ computations whose results are memoised on the same identities anyway.
 The VM executes λS only; ``run_on_vm`` translates a λB program first,
 mirroring ``run_on_machine``.
 
-The pending-mediator *representation* is pluggable (:data:`VM_BACKENDS`,
-selected by the constant pool's ``mediator`` field): canonical coercions
-merged with the memoised ``#`` (the default), or threesomes — interned
-labeled types merged with memoised labeled-type composition ``∘``
-(``compile_term(term, mediator="threesome")``).  Both backends share the
-machine's :class:`~repro.machine.policy.MediationPolicy` semantics, so the
-space discipline above is representation-independent — asserted end to end
-by ``check_mediator_oracle`` (which also runs ``-O0`` against ``-O2`` on
-both backends).
+The enforcement *semantics* is pluggable (the
+:data:`~repro.semantics.SEMANTICS` registry, selected by the constant
+pool's ``mediator`` field): Natural via canonical coercions merged with the
+memoised ``#`` (the default), Natural via threesomes merged with ``∘``
+(``compile_term(term, mediator="threesome")``), Transient's shallow tag
+checks, or Erasure's no-ops.  Every backend is a
+:class:`~repro.machine.policy.MediationPolicy` shared with the CEK machine,
+so the space discipline above is representation-independent — asserted end
+to end by ``check_mediator_oracle`` (which also runs ``-O0`` against
+``-O2`` per backend).
 """
 
 from __future__ import annotations
@@ -67,7 +68,7 @@ from ..core.errors import EvaluationError
 from ..core.fuel import DEFAULT_VM_FUEL
 from ..core.terms import Term
 from ..machine.cek import MachineOutcome
-from ..machine.policy import SPACE_POLICY, THREESOME_POLICY, MachineBlame, MediationPolicy
+from ..machine.policy import MachineBlame, MediationPolicy
 from ..machine.profiler import MachineStats
 from ..machine.values import MConst, MFixWrap, MFunctionValue, MPair, MProxy
 from ..obs.trace import current_tracer
@@ -106,6 +107,7 @@ from .bytecode import (
     CodeObject,
     ConstantPool,
 )
+from ..semantics import policy_for
 from .opt import DEFAULT_OPT_LEVEL, optimize
 
 
@@ -154,17 +156,6 @@ def _fix_apply_o2_for_run() -> CodeObject:
     code.opt_level = template.opt_level
     code.caches = [None] * len(template.instructions)
     return code
-
-
-#: Mediator backends the VM can execute, keyed by each policy's declared
-#: representation (matching the pool's ``mediator`` field): λS canonical
-#: coercions merged with the memoised ``#``, or threesomes merged with
-#: memoised labeled-type composition ``∘``.  Both are
-#: :class:`~repro.machine.policy.MediationPolicy` instances, so the VM and
-#: the CEK machine share one mediation semantics per backend.
-VM_BACKENDS: dict[str, MediationPolicy] = {
-    policy.mediator: policy for policy in (SPACE_POLICY, THREESOME_POLICY)
-}
 
 
 def _project(value, first: bool, policy: MediationPolicy):
@@ -223,9 +214,9 @@ class VM:
         prims = pool.prims
         codes = pool.codes
 
-        # The pool declares which mediator representation its entries use;
-        # hoist that backend's methods into loop locals.
-        policy = VM_BACKENDS[pool.mediator]
+        # The pool declares which enforcement semantics its entries use;
+        # hoist that backend's policy methods into loop locals.
+        policy = policy_for(pool.mediator)
         # The observability hook: fetched once per run, tested with a single
         # `is not None` at mediator lifecycle sites only — never on the
         # per-dispatch path — so untraced runs pay ~nothing and the tracer

@@ -43,13 +43,24 @@ from .values import (
 MACHINE_B = CEKMachine(BLAME_POLICY)
 MACHINE_C = CEKMachine(COERCION_POLICY)
 MACHINE_S = CEKMachine(SPACE_POLICY)
-#: The λS machine with the threesome (labeled-type) mediator backend.
-MACHINE_S_THREESOME = CEKMachine(THREESOME_POLICY)
 
 MACHINES = {"B": MACHINE_B, "C": MACHINE_C, "S": MACHINE_S}
 
-#: The available pending-mediator representations of the λS machine/VM.
-MEDIATORS = ("coercion", "threesome")
+
+def __getattr__(name: str):
+    # Backed by the enforcement-semantics registry, resolved lazily: the
+    # registry imports this package's submodules, so a top-level import here
+    # would be circular.  ``MACHINE_S_THREESOME`` and ``MEDIATORS`` remain
+    # importable for compatibility, but the registry is the source of truth.
+    if name == "MACHINE_S_THREESOME":
+        from ..semantics import SEMANTICS
+
+        return SEMANTICS["threesome"].machine
+    if name == "MEDIATORS":
+        from ..semantics import NATURAL_SEMANTICS_NAMES
+
+        return NATURAL_SEMANTICS_NAMES
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def run_on_machine(
@@ -61,17 +72,19 @@ def run_on_machine(
     """Run a λB term on the machine of the chosen calculus.
 
     The term is translated with ``|·|BC`` (and ``|·|CS``) as required; pass
-    ``"B"`` to run the casts directly.  ``mediator`` selects the pending-cast
-    representation of the λS machine: canonical coercions merged with ``#``
-    (``"coercion"``, the default) or threesomes merged with labeled-type
-    composition ``∘`` (``"threesome"``); λB and λC have no threesome form.
+    ``"B"`` to run the casts directly.  ``mediator`` names the enforcement
+    semantics of the λS machine — any entry of the
+    :data:`~repro.semantics.SEMANTICS` registry (``"coercion"`` the Natural
+    default, ``"threesome"``, ``"transient"``, ``"erasure"``); λB and λC
+    only have their native cast/coercion form.
     """
+    from ..semantics import resolve
+
     calculus = calculus.upper()
-    if mediator not in MEDIATORS:
-        raise UsageError(f"unknown mediator {mediator!r}; expected one of {MEDIATORS}")
-    if mediator == "threesome" and calculus != "S":
+    semantics = resolve(mediator)
+    if mediator != "coercion" and calculus != "S":
         raise UsageError(
-            f"the threesome mediator backend implements λS only "
+            f"the {mediator!r} enforcement semantics implements λS only "
             f"(requested calculus {calculus!r})"
         )
     if calculus == "B":
@@ -80,8 +93,7 @@ def run_on_machine(
     if calculus == "C":
         return MACHINE_C.run(term_c, fuel)
     if calculus == "S":
-        machine = MACHINE_S_THREESOME if mediator == "threesome" else MACHINE_S
-        return machine.run(c_to_s(term_c), fuel)
+        return semantics.machine.run(c_to_s(term_c), fuel)
     raise ValueError(f"unknown calculus {calculus!r}; expected 'B', 'C', or 'S'")
 
 

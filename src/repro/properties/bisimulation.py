@@ -433,6 +433,36 @@ def check_mediator_oracle(
     (strictly — within the rvm the two backends take identical dispatch
     counts, exactly as within the stack VM) and with the stack VM's
     coercion backend, with equal pending-mediator footprints throughout.
+
+    Beyond the two Natural backends, every remaining entry of the
+    enforcement-semantics registry (``transient``, ``erasure``) is checked
+    against the Natural baseline on each engine of the matrix —
+    {machine, VM, rVM} × {coercion, threesome, transient, erasure} — under
+    the registry's capability flags:
+
+    * a backend with ``blames=False`` (Erasure) must **never** end in blame,
+      on any program.  It may instead crash with a dynamic type error
+      (:class:`~repro.core.errors.EvaluationError`) — but only on programs
+      where Natural did *not* produce a value: the guard the backend elides
+      (or, for Transient, checks only shallowly) is exactly what would have
+      intercepted the fault as blame;
+    * on blame-free programs (Natural produced a value) every backend must
+      produce the *same* value — in particular Natural-vs-Transient
+      divergence is confined to blame labels/occurrence: when Natural
+      blames, Transient may blame a different label, produce a value (a
+      deep check Transient drops by design), or time out, but when Natural
+      has a value Transient must have that value;
+    * a ``space_bounded`` backend must preserve the structural
+      one-pending-slot-per-frame invariant
+      (``max_pending_mediators ≤ max_kont_depth + 1``), and each backend's
+      ``-O2`` footprint may only shrink against its own ``-O0``.  (The
+      exact footprint may differ from Natural's: Transient keeps a
+      residual tag check where ``#`` statically cancels an injection
+      against its projection.)
+
+    One-sided timeouts against a different backend are always inconclusive
+    here (Transient and Erasure do strictly less mediation work, so their
+    step counts differ from Natural's by design).
     """
     from ..compiler import run_on_vm
     from ..machine import run_on_machine
@@ -531,10 +561,150 @@ def check_mediator_oracle(
                 )
     # Cross-engine: the threesome VM against the coercion machine (different
     # step units, so a one-sided timeout is inconclusive as usual).
-    return _compare_outcomes(
+    report = _compare_outcomes(
         threesome_v, coercion_m, steps(threesome_v), steps(coercion_m),
         "VM/threesome", "machine/coercion", term_b, strict_timeouts=False,
     )
+    if not report.ok:
+        return report
+
+    # The non-Natural registry entries, against the Natural (coercion)
+    # baseline per engine.  Run lazily per engine so check_vm/check_rvm
+    # gate the matrix exactly as they gate the Natural half above.
+    from ..core.errors import EvaluationError
+    from ..semantics import SEMANTICS
+
+    def run_lenient(thunk):
+        # Transient drops deep obligations and Erasure drops everything, so
+        # a fault Natural would intercept as blame can surface as a dynamic
+        # type error instead.  Capture it; check_against_natural decides
+        # whether it was within the backend's contract.
+        try:
+            return thunk()
+        except EvaluationError as exc:
+            return exc
+
+    def check_against_natural(sem, outcome, natural, name, natural_name):
+        if isinstance(outcome, EvaluationError):
+            if natural.is_value:
+                return BisimulationReport(
+                    False, 0, steps(natural),
+                    f"{name} crashed with a dynamic type error ({outcome}) on "
+                    f"a blame-free program ({natural_name} produced "
+                    f"{natural.python_value()!r})", term_b, None,
+                )
+            return None  # Natural blamed/timed out: the elided guard's fault
+        if not sem.blames and outcome.is_blame:
+            return BisimulationReport(
+                False, steps(outcome), steps(natural),
+                f"{name} blamed {outcome.label} but the {sem.name} semantics "
+                f"never blames", term_b, None,
+            )
+        if natural.is_value:
+            if outcome.is_blame:
+                return BisimulationReport(
+                    False, steps(outcome), steps(natural),
+                    f"{name} blamed {outcome.label} on a blame-free program "
+                    f"({natural_name} produced {natural.python_value()!r})",
+                    term_b, None,
+                )
+            if outcome.is_value and outcome.python_value() != natural.python_value():
+                return BisimulationReport(
+                    False, steps(outcome), steps(natural),
+                    f"values diverge: {name} produced {outcome.python_value()!r}, "
+                    f"{natural_name} produced {natural.python_value()!r}",
+                    term_b, None,
+                )
+        # Natural blamed or timed out: divergence in label, occurrence, or
+        # termination is within the backend's contract.  Space: the exact
+        # footprint may differ from Natural's (Transient keeps a residual
+        # tag check where ``#`` statically cancels an injection against its
+        # projection), but a space-bounded backend must preserve the
+        # structural one-pending-slot-per-frame invariant.
+        stats_o = outcome.stats or {}
+        if (sem.space_bounded and stats_o.get("max_pending_mediators", 0)
+                > stats_o.get("max_kont_depth", 0) + 1):
+            return BisimulationReport(
+                False, steps(outcome), steps(natural),
+                f"{name} stacked pending mediators: "
+                f"{stats_o['max_pending_mediators']} pending across "
+                f"{stats_o.get('max_kont_depth', 0) + 1} frames",
+                term_b, None,
+            )
+        return None
+
+    for backend in ("transient", "erasure"):
+        sem = SEMANTICS[backend]
+        outcome_m = run_lenient(
+            lambda: run_on_machine(term_b, "S", machine_fuel, mediator=backend))
+        failure = check_against_natural(sem, outcome_m, coercion_m,
+                                        f"machine/{backend}", "machine/coercion")
+        if failure is not None:
+            return failure
+        if not check_vm:
+            continue
+        outcome_v = run_lenient(
+            lambda: run_on_vm(term_b, vm_fuel, mediator=backend))
+        failure = check_against_natural(sem, outcome_v, coercion_v,
+                                        f"VM/{backend}", "VM/coercion")
+        if failure is not None:
+            return failure
+        # The backend against itself across opt levels: -O0 against -O2
+        # (one-sided timeouts inconclusive; the footprint may only shrink).
+        # When either level crashed with a dynamic type error, each level is
+        # held to the Natural baseline on its own instead — elision moves
+        # *where* an unguarded fault surfaces, so levels are not compared.
+        unopt = run_lenient(
+            lambda: run_on_vm(term_b, vm_fuel, mediator=backend, opt_level=0))
+        failure = check_against_natural(sem, unopt, coercion_v,
+                                        f"VM/{backend}/-O0", "VM/coercion")
+        if failure is not None:
+            return failure
+        errored_v = isinstance(outcome_v, EvaluationError) or isinstance(
+            unopt, EvaluationError)
+        if not errored_v:
+            report = _compare_outcomes(
+                outcome_v, unopt, steps(outcome_v), steps(unopt),
+                f"VM/{backend}/-O2", f"VM/{backend}/-O0", term_b,
+                strict_timeouts=False,
+            )
+            if not report.ok:
+                return report
+            if pending(outcome_v) > pending(unopt):
+                return BisimulationReport(
+                    False, steps(outcome_v), steps(unopt),
+                    f"VM/{backend} -O2 grew the pending-mediator footprint: "
+                    f"{pending(outcome_v)} vs -O0's {pending(unopt)}",
+                    term_b, None,
+                )
+        if check_rvm:
+            from ..compiler import run_on_rvm
+
+            outcome_r = run_lenient(
+                lambda: run_on_rvm(term_b, vm_fuel, mediator=backend))
+            failure = check_against_natural(sem, outcome_r, coercion_r,
+                                            f"rVM/{backend}", "rVM/coercion")
+            if failure is not None:
+                return failure
+            # Register against stack within the backend (different step
+            # units; footprints compare only when both sides finished).
+            if errored_v or isinstance(outcome_r, EvaluationError):
+                continue
+            report = _compare_outcomes(
+                outcome_r, outcome_v, steps(outcome_r), steps(outcome_v),
+                f"rVM/{backend}", f"VM/{backend}", term_b, strict_timeouts=False,
+            )
+            if not report.ok:
+                return report
+            if (not (outcome_r.is_timeout or outcome_v.is_timeout)
+                    and pending(outcome_r) != pending(outcome_v)):
+                return BisimulationReport(
+                    False, steps(outcome_r), steps(outcome_v),
+                    f"register VM changed the {backend} backend's footprint: "
+                    f"{pending(outcome_r)} vs stack VM's {pending(outcome_v)}",
+                    term_b, None,
+                )
+    return report
 
 
 def _compare_outcomes(left, right, steps_l, steps_r, name_l, name_r, term_b,

@@ -26,12 +26,15 @@ Backends are therefore a triple of knobs:
 * ``calculus`` — ``"B"``, ``"C"``, or ``"S"``: which calculus the elaborated
   program is translated into (the VM supports ``"S"`` only);
 * ``engine`` — ``"vm"``, ``"machine"`` (default), or ``"subst"``;
-* ``mediator`` — ``"coercion"`` (default) or ``"threesome"``: how the λS
-  machine and the VM represent pending casts at run time — canonical
-  coercions merged with ``#``, or threesomes (labeled types, §6.1) merged
-  with labeled-type composition ``∘``.  The two representations are
+* ``mediator`` (alias ``semantics``) — the *enforcement semantics* the λS
+  machine and the VMs run casts under, any entry of the
+  :data:`~repro.semantics.SEMANTICS` registry: ``"coercion"`` (default,
+  Natural via canonical coercions merged with ``#``), ``"threesome"``
+  (Natural via labeled types, §6.1, merged with ``∘``), ``"transient"``
+  (shallow tag checks; blame may diverge from Natural), or ``"erasure"``
+  (no enforcement, never blames).  The two Natural backends are
   observationally equivalent (``check_mediator_oracle``); the substitution
-  oracle reduces coercion terms literally and has no threesome form.
+  oracle reduces coercion terms literally and supports only ``"coercion"``.
 """
 
 from __future__ import annotations
@@ -52,17 +55,18 @@ from ..core.types import Type
 from ..lambda_b import reduction as reduction_b
 from ..lambda_c import reduction as reduction_c
 from ..lambda_s import reduction as reduction_s
-from ..machine import MEDIATORS, run_on_machine
+from ..machine import run_on_machine
 from ..obs.metrics import phase, record_run
+from ..semantics import SEMANTICS_NAMES
 from ..translate import b_to_c, c_to_s
 from .cast_insertion import elaborate_program
 from .parser import parse_program
 
 #: The four execution engines: the stack bytecode VM, the register VM
 #: (packed-stream dispatch over the register IR — the fastest engine), the
-#: CEK machine, and the substitution-based reference oracle.  MEDIATORS
-#: (re-exported from :mod:`repro.machine`) is the second axis: the
-#: pending-mediator representations of the λS machine and both VMs.
+#: CEK machine, and the substitution-based reference oracle.
+#: :data:`~repro.semantics.SEMANTICS_NAMES` is the second axis: the
+#: enforcement semantics of the λS machine and both VMs.
 ENGINES = ("vm", "rvm", "machine", "subst")
 
 #: The two compiled engines: λS only, ``opt_level`` applies, cacheable.
@@ -95,6 +99,12 @@ class RunResult:
     mediator: str = "coercion"
     space_stats: dict | None = None
     steps: int = 0
+
+    @property
+    def semantics(self) -> str:
+        """The enforcement semantics this run executed under (see
+        :data:`repro.semantics.SEMANTICS`); an alias of ``mediator``."""
+        return self.mediator
 
     @property
     def is_value(self) -> bool:
@@ -141,8 +151,10 @@ def _validate_vm_knobs(calculus: str, mediator: str, opt_level: int,
                        engine: str = "vm") -> None:
     """The compiled engines' shared argument validation (run_term and the
     warm cache path of run_source raise identical errors by construction)."""
-    if mediator not in MEDIATORS:
-        raise UsageError(f"unknown mediator {mediator!r}; expected one of {MEDIATORS}")
+    if mediator not in SEMANTICS_NAMES:
+        raise UsageError(
+            f"unknown semantics {mediator!r}; expected one of {SEMANTICS_NAMES}"
+        )
     if opt_level not in OPT_LEVELS:
         raise UsageError(
             f"unknown optimization level {opt_level!r}; expected one of {OPT_LEVELS}"
@@ -166,6 +178,7 @@ def run_source(
     cache_dir: str | None = None,
     opcode_counts: dict | None = None,
     metrics=None,
+    semantics: str | None = None,
 ) -> RunResult:
     """Run a surface program and report its outcome.
 
@@ -186,6 +199,8 @@ def run_source(
     hit/miss/corrupt counters, and the run's outcome/space counters.
     """
     resolved = _resolve_engine(engine, use_machine)
+    if semantics is not None:
+        mediator = semantics
     if cache and resolved in VM_ENGINES:
         from ..compiler.cache import cache_lookup
         from ..compiler.serialize import source_fingerprint
@@ -237,8 +252,11 @@ def run_term(
     source_hash: str | None = None,
     opcode_counts: dict | None = None,
     metrics=None,
+    semantics: str | None = None,
 ) -> RunResult:
-    """Run an elaborated λB term on the chosen calculus, engine, and mediator.
+    """Run an elaborated λB term on the chosen calculus, engine, and
+    enforcement semantics (``semantics`` overrides the legacy ``mediator``
+    spelling when both are given).
 
     ``opt_level`` is the bytecode optimizer's ``-O`` level (0/1/2, default
     2); it shapes what the compiled engines (**vm**, **rvm**) execute and is
@@ -255,8 +273,12 @@ def run_term(
     """
     calculus = calculus.upper()
     engine = _resolve_engine(engine, use_machine)
-    if mediator not in MEDIATORS:
-        raise UsageError(f"unknown mediator {mediator!r}; expected one of {MEDIATORS}")
+    if semantics is not None:
+        mediator = semantics
+    if mediator not in SEMANTICS_NAMES:
+        raise UsageError(
+            f"unknown semantics {mediator!r}; expected one of {SEMANTICS_NAMES}"
+        )
     if opt_level not in OPT_LEVELS:
         raise UsageError(
             f"unknown optimization level {opt_level!r}; expected one of {OPT_LEVELS}"
@@ -313,8 +335,9 @@ def run_term(
 
     if mediator != "coercion":
         raise UsageError(
-            "engine 'subst' reduces coercion terms literally and has no "
-            "threesome backend; use engine='machine' or engine='vm'"
+            "engine 'subst' reduces coercion terms literally and supports "
+            f"only the 'coercion' semantics (requested {mediator!r}); "
+            "use engine='machine' or engine='vm'"
         )
     with phase(metrics, "run"):
         if calculus == "B":

@@ -201,6 +201,72 @@ class TestMediatorFlag:
         assert streams and all(streams)
 
 
+class TestSemanticsFlag:
+    @pytest.mark.parametrize("engine", ["machine", "vm", "rvm"])
+    @pytest.mark.parametrize(
+        "semantics", ["coercion", "threesome", "transient", "erasure"]
+    )
+    def test_every_semantics_runs_values(self, square_program, engine, semantics,
+                                         capsys):
+        assert main(["run", square_program, "--engine", engine,
+                     "--semantics", semantics]) == 0
+        assert "36" in capsys.readouterr().out
+
+    def test_transient_blames_first_order_projections(self, tmp_path, capsys):
+        # A bad base-type projection is a tag check transient does run; the
+        # deep result obligation in blame_program, by contrast, is dropped
+        # by design (see test_transient_drops_higher_order_obligations).
+        path = tmp_path / "bad_ascription.grad"
+        path.write_text("(: (: 21 ?) bool)\n")
+        assert main(["run", str(path), "--semantics", "transient"]) == 1
+        assert "blame" in capsys.readouterr().out
+
+    def test_transient_drops_higher_order_obligations(self, blame_program, capsys):
+        # Natural blames the int result coercion; transient keeps no proxy,
+        # so the raw #t flows into + and the program computes 1 + #t = 2.
+        assert main(["run", blame_program, "--semantics", "transient"]) == 0
+        assert "2" in capsys.readouterr().out
+
+    def test_erasure_never_exits_one(self, blame_program, capsys):
+        # The elided boundary lets the raw #t reach +, which computes on it:
+        # erasure trades the blame exit for an unchecked answer.
+        assert main(["run", blame_program, "--semantics", "erasure"]) == 0
+        out = capsys.readouterr().out
+        assert "blame" not in out
+        assert "2" in out
+
+    def test_mediator_flag_warns_but_still_works(self, square_program, capsys):
+        assert main(["run", square_program, "--mediator", "threesome"]) == 0
+        captured = capsys.readouterr()
+        assert "36" in captured.out
+        assert "--mediator is deprecated" in captured.err
+        assert "--semantics" in captured.err
+
+    def test_semantics_flag_does_not_warn(self, square_program, capsys):
+        assert main(["run", square_program, "--semantics", "threesome"]) == 0
+        assert "deprecated" not in capsys.readouterr().err
+
+    def test_contradicting_flags_are_rejected(self, square_program, capsys):
+        assert main(["run", square_program, "--mediator", "threesome",
+                     "--semantics", "erasure"]) == 2
+        assert "contradicts" in capsys.readouterr().err
+
+    def test_mediator_choices_stay_the_natural_pair(self, square_program, capsys):
+        # The deprecated alias never learned the new backends; spelling one
+        # through it is an argparse error, pushing users to --semantics.
+        with pytest.raises(SystemExit):
+            main(["run", square_program, "--mediator", "transient"])
+        capsys.readouterr()
+
+    def test_compile_accepts_semantics(self, square_program, capsys):
+        assert main(["compile", square_program, "--semantics", "transient"]) == 0
+        assert "pool coercions" in capsys.readouterr().out
+
+    def test_batch_accepts_semantics(self, square_program, capsys):
+        assert main(["batch", square_program, "--semantics", "erasure"]) == 0
+        capsys.readouterr()
+
+
 class TestOtherCommands:
     def test_check_well_typed(self, square_program, capsys):
         assert main(["check", square_program]) == 0

@@ -1,0 +1,449 @@
+"""Tests for the enforcement-semantics registry and its four backends.
+
+PRs 1–7 grew two *Natural* presentations of run-time enforcement (canonical
+coercions and threesomes); this PR refactors the mediator axis into the
+:mod:`repro.semantics` registry and adds two non-Natural disciplines from
+the blame-evaluation literature: **Transient** (shallow ground-tag checks,
+no proxies, blame may diverge from Natural by design) and **Erasure** (all
+mediation elided — the speed ceiling, never blames).  The suite covers the
+registry itself, the transient derivation/composition algebra, the
+end-to-end 4-semantics × 3-engines matrix, the erasure elision guarantee,
+image round-trips, cache-key separation, and the extended
+``check_mediator_oracle``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.compiler import compile_term, run_on_vm
+from repro.compiler.bytecode import (
+    COERCE,
+    COMPOSE,
+    LOAD_COERCE,
+    PUSH_COERCE,
+    all_code_objects,
+)
+from repro.compiler.cache import cache_key
+from repro.compiler.rvm import run_on_rvm
+from repro.compiler.serialize import (
+    deserialize_image,
+    serialize_image,
+    source_fingerprint,
+)
+from repro.core.errors import EvaluationError, UsageError
+from repro.core.labels import label
+from repro.core.types import BOOL, INT, GROUND_FUN
+from repro.gen.programs import (
+    even_odd_boundary,
+    pair_boundary_swap,
+    safe_boundary_program,
+    tail_countdown_boundary,
+    twice_boundary,
+    typed_loop_untyped_step,
+    untyped_client_bad_argument,
+    untyped_library_bad_result,
+)
+from repro.lambda_s.coercions import (
+    ID_DYN,
+    FailS,
+    FunCo,
+    IdBase,
+    Injection,
+    Projection,
+)
+from repro.machine import run_on_machine
+from repro.machine.policy import (
+    ACT_GENERAL,
+    ACT_IDENTITY,
+    COERCION_POLICY,
+    MachineBlame,
+    SPACE_POLICY,
+    THREESOME_POLICY,
+)
+from repro.machine.values import MConst, MPair
+from repro.properties.bisimulation import check_mediator_oracle
+from repro.semantics import (
+    NATURAL_SEMANTICS_NAMES,
+    SEMANTICS,
+    SEMANTICS_NAMES,
+    policy_for,
+    resolve,
+)
+from repro.semantics.erasure import ERASED, ERASURE_POLICY, ErasedMediator
+from repro.semantics.transient import (
+    NO_CHECK,
+    TRANSIENT_POLICY,
+    TransientCheck,
+    compose_transient,
+    intern_transient,
+    transient_of_coercion,
+)
+from repro.surface.interp import compile_source, run_source, run_term
+
+from .strategies import lambda_b_programs
+
+P = label("p")
+Q = label("q")
+
+ID_INT = IdBase(INT)
+INT_INJ = Injection(ID_INT, INT)          # idι ; int!
+INT_PROJ = Projection(INT, P, ID_INT)     # int?p ; idι
+
+
+class TestRegistry:
+    def test_the_four_semantics_and_their_order(self):
+        assert SEMANTICS_NAMES == ("coercion", "threesome", "transient", "erasure")
+        assert tuple(SEMANTICS) == SEMANTICS_NAMES
+
+    def test_capability_flags(self):
+        assert all(SEMANTICS[name].blames for name in ("coercion", "threesome", "transient"))
+        assert not SEMANTICS["erasure"].blames
+        assert all(sem.space_bounded for sem in SEMANTICS.values())
+        assert NATURAL_SEMANTICS_NAMES == ("coercion", "threesome")
+        for name in SEMANTICS_NAMES:
+            assert SEMANTICS[name].natural == (name in NATURAL_SEMANTICS_NAMES)
+
+    def test_resolve_returns_the_entry_and_rejects_unknowns(self):
+        assert resolve("transient") is SEMANTICS["transient"]
+        with pytest.raises(UsageError, match="unknown mediator/semantics"):
+            resolve("wrapsome")
+
+    def test_policies_are_the_backend_singletons(self):
+        assert policy_for("coercion") is SPACE_POLICY
+        assert policy_for("threesome") is THREESOME_POLICY
+        assert policy_for("transient") is TRANSIENT_POLICY
+        assert policy_for("erasure") is ERASURE_POLICY
+
+    def test_each_machine_runs_its_own_policy(self):
+        for name, sem in SEMANTICS.items():
+            assert sem.machine.policy is sem.policy, name
+
+    def test_serialize_ids_and_cache_keys_are_distinct(self):
+        assert len({sem.serialize_id for sem in SEMANTICS.values()}) == 4
+        assert len({sem.cache_key for sem in SEMANTICS.values()}) == 4
+
+    def test_old_dispatch_tables_are_gone(self):
+        from repro.compiler import opt, vm
+
+        assert not hasattr(opt, "_POLICIES")
+        assert not hasattr(vm, "VM_BACKENDS")
+
+    def test_legacy_machine_names_still_resolve_lazily(self):
+        from repro.machine import MACHINE_S_THREESOME, MEDIATORS
+
+        assert MEDIATORS == NATURAL_SEMANTICS_NAMES
+        assert MACHINE_S_THREESOME is SEMANTICS["threesome"].machine
+
+
+class TestTransientDerivation:
+    def test_injections_and_ground_coercions_check_nothing(self):
+        assert transient_of_coercion(INT_INJ) is NO_CHECK
+        assert transient_of_coercion(ID_INT) is NO_CHECK
+        assert transient_of_coercion(ID_DYN) is NO_CHECK
+        # Higher-order obligations are dropped wholesale: s → t never checks.
+        assert transient_of_coercion(FunCo(INT_PROJ, Injection(ID_INT, INT))) is NO_CHECK
+
+    def test_a_projection_becomes_a_tag_check(self):
+        t = transient_of_coercion(INT_PROJ)
+        assert t.checks == ((INT, P),) and t.fail is None
+
+    def test_a_projection_over_a_failure_keeps_both(self):
+        t = transient_of_coercion(Projection(GROUND_FUN, P, FailS(INT, Q, BOOL)))
+        assert t.checks == ((GROUND_FUN, P),)
+        assert t.fail == Q
+
+    def test_derivation_is_memoised_on_the_interned_coercion(self):
+        assert transient_of_coercion(INT_PROJ) is transient_of_coercion(
+            Projection(INT, P, IdBase(INT))
+        )
+
+    def test_interning_is_structural(self):
+        a = intern_transient(TransientCheck(((INT, P),), None))
+        b = intern_transient(TransientCheck(((INT, P),), None))
+        assert a is b
+        assert intern_transient(TransientCheck(((INT, Q),), None)) is not a
+
+
+class TestTransientComposition:
+    def test_composition_dedups_by_ground_keeping_the_earliest_label(self):
+        first = intern_transient(TransientCheck(((INT, P),)))
+        second = intern_transient(TransientCheck(((INT, Q), (BOOL, Q))))
+        merged = compose_transient(first, second)
+        assert merged.checks == ((INT, P), (BOOL, Q))
+
+    def test_a_failure_in_first_shadows_second(self):
+        first = intern_transient(TransientCheck((), fail=P))
+        second = intern_transient(TransientCheck(((INT, Q),), fail=Q))
+        assert compose_transient(first, second) is first
+
+    def test_second_failure_survives_composition(self):
+        first = intern_transient(TransientCheck(((INT, P),)))
+        second = intern_transient(TransientCheck((), fail=Q))
+        merged = compose_transient(first, second)
+        assert merged.checks == ((INT, P)) or merged.checks == ((INT, P),)
+        assert merged.fail == Q
+
+    def test_composition_is_bounded_by_the_distinct_grounds(self):
+        # Iterating composition can never grow past one check per ground —
+        # the space bound that lets transient reuse the one-slot discipline.
+        acc = NO_CHECK
+        for lab in (P, Q, label("r"), label("s")):
+            acc = compose_transient(acc, intern_transient(TransientCheck(((INT, lab),))))
+        assert acc.checks == ((INT, P),)
+        assert TRANSIENT_POLICY.size(acc) == 2
+
+    def test_identity_and_classification(self):
+        assert TRANSIENT_POLICY.is_identity(NO_CHECK)
+        assert TRANSIENT_POLICY.classify(NO_CHECK) == ACT_IDENTITY
+        nonempty = intern_transient(TransientCheck(((INT, P),)))
+        assert TRANSIENT_POLICY.classify(nonempty) == ACT_GENERAL
+
+
+class TestTransientApply:
+    def test_passing_checks_return_the_value_unwrapped(self):
+        v = MConst(7, INT)
+        t = intern_transient(TransientCheck(((INT, P),)))
+        assert TRANSIENT_POLICY.apply(v, t) is v
+
+    def test_tag_mismatch_blames_the_check_label(self):
+        t = intern_transient(TransientCheck(((BOOL, Q),)))
+        with pytest.raises(MachineBlame) as exc:
+            TRANSIENT_POLICY.apply(MConst(7, INT), t)
+        assert exc.value.label == Q
+
+    def test_function_tag_rejects_a_pair(self):
+        t = intern_transient(TransientCheck(((GROUND_FUN, P),)))
+        pair = MPair(MConst(1, INT), MConst(2, INT))
+        with pytest.raises(MachineBlame) as exc:
+            TRANSIENT_POLICY.apply(pair, t)
+        assert exc.value.label == P
+
+    def test_unconditional_failure_blames_after_checks_pass(self):
+        t = intern_transient(TransientCheck(((INT, P),), fail=Q))
+        with pytest.raises(MachineBlame) as exc:
+            TRANSIENT_POLICY.apply(MConst(7, INT), t)
+        assert exc.value.label == Q
+
+    def test_transient_never_wraps(self):
+        t = intern_transient(TransientCheck(((INT, P),)))
+        assert not TRANSIENT_POLICY.is_fun_proxy(t)
+        assert not TRANSIENT_POLICY.is_prod_proxy(t)
+        with pytest.raises(EvaluationError):
+            TRANSIENT_POLICY.fun_parts(t)
+
+
+class TestErasurePolicy:
+    def test_erased_is_a_singleton_identity(self):
+        assert isinstance(ERASED, ErasedMediator)
+        assert ERASURE_POLICY.is_identity(ERASED)
+        assert ERASURE_POLICY.classify(ERASED) == ACT_IDENTITY
+        assert ERASURE_POLICY.size(ERASED) == 0
+        assert ERASURE_POLICY.compose(ERASED, ERASED) is ERASED
+
+    def test_apply_is_the_identity_on_values(self):
+        v = MConst(3, INT)
+        assert ERASURE_POLICY.apply(v, ERASED) is v
+
+
+SAFE_SOURCES = (
+    "(: (: 21 ?) int)",
+    "((lambda ([f : (-> int int)]) (f 2)) (: (lambda (x) x) ?))",
+    "(fst (: (: (pair 1 #t) ?) (* int bool)))",
+)
+
+BLAMING_SOURCE = "(: (: 21 ?) bool)"
+
+
+def _engines():
+    return (
+        ("machine", lambda term, sem: run_on_machine(term, "S", mediator=sem)),
+        ("vm", lambda term, sem: run_on_vm(term, mediator=sem)),
+        ("rvm", lambda term, sem: run_on_rvm(term, mediator=sem)),
+    )
+
+
+class TestFourByThreeMatrix:
+    def test_all_semantics_and_engines_agree_on_safe_programs(self):
+        for source in SAFE_SOURCES:
+            term, _ = compile_source(source)
+            expected = run_on_machine(term, "S", mediator="coercion").python_value()
+            for engine, run in _engines():
+                for sem in SEMANTICS_NAMES:
+                    outcome = run(term, sem)
+                    assert outcome.is_value, f"{engine}/{sem}: {outcome.kind}"
+                    assert outcome.python_value() == expected, f"{engine}/{sem}"
+
+    def test_blaming_semantics_blame_and_erasure_does_not(self):
+        term, _ = compile_source(BLAMING_SOURCE)
+        for engine, run in _engines():
+            for sem in ("coercion", "threesome", "transient"):
+                outcome = run(term, sem)
+                assert outcome.is_blame, f"{engine}/{sem}"
+            erased = run(term, "erasure")
+            assert erased.is_value and erased.python_value() == 21, engine
+
+    def test_transient_blame_labels_match_natural_on_first_order_projections(self):
+        # For a bad base-type projection both disciplines inspect the same
+        # tag under the same label, so the labels coincide here even though
+        # they may diverge on higher-order programs.
+        term, _ = compile_source(BLAMING_SOURCE)
+        natural = run_on_vm(term, mediator="coercion")
+        transient = run_on_vm(term, mediator="transient")
+        assert natural.label == transient.label
+
+    def test_erasure_never_blames_the_known_blamers(self):
+        for program in (untyped_library_bad_result(), untyped_client_bad_argument()):
+            for engine, run in _engines():
+                outcome = run(program, "erasure")
+                assert not outcome.is_blame, engine
+
+
+class TestErasureElision:
+    def test_o1_removes_every_mediation_instruction(self):
+        mediation = {COERCE, COMPOSE, LOAD_COERCE, PUSH_COERCE}
+        for source in SAFE_SOURCES + (BLAMING_SOURCE,):
+            term, _ = compile_source(source)
+            for opt_level in (1, 2):
+                code = compile_term(term, mediator="erasure", opt_level=opt_level)
+                for obj in all_code_objects(code):
+                    ops = {op for op, _ in obj.instructions}
+                    assert not (ops & mediation), f"-O{opt_level}: {source}"
+
+    def test_erased_pool_survives_at_o0(self):
+        # Unoptimized code still carries the mediation instructions; the
+        # pool entries are all the ERASED singleton and apply as identity.
+        term, _ = compile_source(BLAMING_SOURCE)
+        code = compile_term(term, mediator="erasure", opt_level=0)
+        assert all(entry is ERASED for entry in code.pool.coercions)
+        outcome = run_on_vm(term, mediator="erasure", opt_level=0)
+        assert outcome.is_value and outcome.python_value() == 21
+
+
+class TestSpaceBounds:
+    def test_transient_pending_stays_within_the_one_slot_discipline(self):
+        for program in (tail_countdown_boundary(200), even_odd_boundary(100)):
+            outcome = run_on_vm(program, mediator="transient")
+            assert outcome.is_value
+            assert outcome.stats["max_pending_mediators"] <= 1
+
+    def test_erasure_has_no_pending_mediators_after_elision(self):
+        outcome = run_on_vm(even_odd_boundary(100), mediator="erasure")
+        assert outcome.is_value
+        assert outcome.stats["max_pending_mediators"] == 0
+
+
+class TestExtendedOracle:
+    def test_oracle_passes_the_four_backend_matrix_on_workloads(self):
+        for program in (
+            even_odd_boundary(8),
+            typed_loop_untyped_step(4),
+            twice_boundary(3),
+            untyped_library_bad_result(),
+            untyped_client_bad_argument(),
+            safe_boundary_program(),
+            pair_boundary_swap(),
+        ):
+            report = check_mediator_oracle(program)
+            assert report.ok, report.reason
+
+    @given(lambda_b_programs())
+    @settings(max_examples=20, deadline=None)
+    def test_oracle_on_generated_programs(self, program):
+        term, _ = program
+        report = check_mediator_oracle(term)
+        assert report.ok, report.reason
+
+
+class TestImageRoundTrips:
+    def _roundtrip(self, source: str, mediator: str, opt_level: int = 0):
+        term, ty = compile_source(source)
+        code = compile_term(term, mediator=mediator, opt_level=opt_level)
+        data = serialize_image(
+            code, source_hash=source_fingerprint(source), static_type=ty
+        )
+        return code, deserialize_image(data)
+
+    def test_transient_images_reintern_their_checks(self):
+        code, image = self._roundtrip(BLAMING_SOURCE, "transient")
+        assert image.info.mediator == "transient"
+        for original, loaded in zip(code.pool.coercions, image.code.pool.coercions):
+            assert loaded is original  # structural interning restores identity
+        from repro.compiler.vm import run_code
+
+        outcome = run_code(image.code)
+        assert outcome.is_blame
+
+    def test_transient_failure_entries_round_trip(self):
+        source = "((lambda ([f : (-> int int)]) (f 2)) (: #t ?))"
+        code, image = self._roundtrip(source, "transient")
+        assert any(
+            isinstance(e, TransientCheck) and (e.checks or e.fail is not None)
+            for e in image.code.pool.coercions
+        )
+
+    def test_erasure_images_round_trip_to_the_singleton(self):
+        code, image = self._roundtrip(BLAMING_SOURCE, "erasure")
+        assert image.info.mediator == "erasure"
+        assert all(entry is ERASED for entry in image.code.pool.coercions)
+        from repro.compiler.vm import run_code
+
+        outcome = run_code(image.code)
+        assert outcome.is_value and outcome.python_value() == 21
+
+
+class TestCacheKeys:
+    def test_each_semantics_gets_its_own_cache_key(self):
+        h = source_fingerprint("(: (: 21 ?) int)")
+        keys = {cache_key(h, 2, name) for name in SEMANTICS_NAMES}
+        assert len(keys) == 4
+
+    def test_unknown_semantics_is_rejected_at_the_key(self):
+        with pytest.raises(UsageError):
+            cache_key(source_fingerprint("1"), 2, "wrapsome")
+
+
+class TestSurfaceSemanticsKnob:
+    def test_run_source_accepts_the_semantics_spelling(self):
+        for sem in SEMANTICS_NAMES:
+            result = run_source("(: (: 21 ?) int)", engine="vm", semantics=sem)
+            assert result.is_value and result.value == 21
+            assert result.semantics == sem
+            assert result.mediator == sem
+
+    def test_run_term_threads_transient_and_erasure_through(self):
+        term, ty = compile_source(BLAMING_SOURCE)
+        blamed = run_term(term, ty, engine="vm", semantics="transient")
+        assert blamed.is_blame
+        erased = run_term(term, ty, engine="rvm", semantics="erasure")
+        assert erased.is_value and erased.value == 21
+
+    def test_subst_engine_supports_only_the_coercion_semantics(self):
+        term, ty = compile_source("(: (: 21 ?) int)")
+        with pytest.raises(UsageError):
+            run_term(term, ty, engine="subst", semantics="erasure")
+
+
+class TestErasureAgreesWithNaturalProperty:
+    """Satellite 3: on blame-free programs Erasure is observationally the
+    Natural semantics minus enforcement — same values, never a blame exit —
+    on both the stack VM and the register VM."""
+
+    @given(lambda_b_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_erasure_agrees_with_natural_on_blame_free_programs(self, program):
+        term, _ = program
+        natural = run_on_vm(term)
+        for run in (run_on_vm, run_on_rvm):
+            try:
+                erased = run(term, mediator="erasure")
+            except EvaluationError:
+                # The elided guard would have intercepted this as blame — a
+                # dynamic type error is only legitimate when Natural did not
+                # produce a value (and it is still not a blame exit).
+                assert not natural.is_value
+                continue
+            assert not erased.is_blame  # erasure can never exit 1
+            if natural.is_value and erased.is_value:
+                assert erased.python_value() == natural.python_value()

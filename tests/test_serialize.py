@@ -211,6 +211,17 @@ class TestRejection:
         with pytest.raises(ImageError, match="cannot read"):
             load_image(tmp_path / "missing.gradb")
 
+    def test_unknown_semantics_axis_is_rejected(self):
+        # A checksum-valid image whose header names an enforcement semantics
+        # this library does not know must fail on the axis, like the format
+        # and opcode-set rejections above — not crash decoding the pool.
+        data = self._image_bytes()
+        needle = b"\x08coercion"  # varint length 8, then the semantics id
+        assert data.count(needle) == 1
+        patched = data.replace(needle, b"\x08wrapsome")
+        with pytest.raises(ImageError, match="enforcement-semantics mismatch"):
+            deserialize_image(_recrc(patched))
+
     def test_out_of_range_operand_is_rejected(self):
         # A checksum-valid image whose stream indexes outside its pool must
         # be caught by validation, not crash the VM mid-run.
