@@ -1,0 +1,199 @@
+"""Experiment: the persistent evaluation service under load and under faults.
+
+The serving PR's claim: keeping workers resident — interned mediator
+tables, memoised compositions, hot ``.gradb`` images — makes repeated
+evaluation requests cheap (warm p50 far below cold), and the fault
+machinery (crash retry, deadlines, shedding) degrades throughput
+gracefully rather than dropping or hanging requests.  This suite
+quantifies it over a live server subprocess on a Unix socket:
+
+* **cold vs warm** — per-request round-trip latency (p50/p99) for a batch
+  of distinct programs against an empty cache, then the same batch again
+  (worker-resident images / compile-cache hits).
+* **sustained** — single-connection request rate for a warm program, the
+  service's steady-state ceiling on one core.
+* **degradation** — the same sustained load under increasing
+  ``worker_kill`` probability: requests per second and the fraction that
+  still terminate as values (retries absorb kills until the retry budget
+  runs out; every request still gets exactly one terminal response).
+
+Standalone usage (writes the ``BENCH_serve.json`` artifact)::
+
+    python benchmarks/bench_serve.py --json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+import harness
+
+from repro.serve.client import ServeClient
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: Distinct-but-tiny programs: one per cold request (distinct cache keys).
+def _program(index: int) -> str:
+    return (
+        f"(define (f [x : int]) : int (* x {index + 2}))\n"
+        f"(f (: {index + 1} ?))\n"
+    )
+
+
+#: Request counts: enough for stable percentiles, small enough to keep the
+#: suite in seconds.
+COLD_PROGRAMS = 40
+SUSTAINED_REQUESTS = 150
+
+#: The degradation curve's fault axis.
+KILL_PROBS = (0.0, 0.1, 0.3)
+
+
+class _Server:
+    """A serve subprocess on a Unix socket with an isolated cache."""
+
+    def __init__(self, *extra_args: str, faults: str | None = None):
+        self.root = Path(tempfile.mkdtemp(prefix="bench-serve-"))
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(_SRC),
+            REPRO_GRADUAL_CACHE_DIR=str(self.root / "cache"),
+        )
+        if faults:
+            env["REPRO_GRADUAL_FAULTS"] = faults
+        else:
+            env.pop("REPRO_GRADUAL_FAULTS", None)
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--socket", str(self.root / "serve.sock"), *extra_args],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env, text=True,
+        )
+        self.ready = json.loads(self.proc.stdout.readline())
+
+    def client(self) -> ServeClient:
+        return ServeClient.from_ready(self.ready)
+
+    def close(self) -> None:
+        try:
+            with self.client() as client:
+                client.shutdown()
+            self.proc.wait(timeout=30)
+        finally:
+            if self.proc.poll() is None:
+                self.proc.kill()
+            shutil.rmtree(self.root, ignore_errors=True)
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _latency_sweep(client: ServeClient, sources: list[str]) -> list[float]:
+    latencies = []
+    for source in sources:
+        start = time.perf_counter()
+        result = client.run(source)
+        latencies.append(time.perf_counter() - start)
+        assert result["kind"] == "value", result
+    return latencies
+
+
+def build_suite(repeat: int) -> harness.Suite:
+    suite = harness.Suite("serve", repeat=repeat)
+    sources = [_program(i) for i in range(COLD_PROGRAMS)]
+
+    server = _Server()
+    try:
+        with server.client() as client:
+            cold = _latency_sweep(client, sources)
+            warm = _latency_sweep(client, sources)
+            suite.record(
+                "latency/cold",
+                p50_s=_percentile(cold, 0.50), p99_s=_percentile(cold, 0.99),
+                requests=len(cold),
+            )
+            suite.record(
+                "latency/warm",
+                p50_s=_percentile(warm, 0.50), p99_s=_percentile(warm, 0.99),
+                requests=len(warm),
+                speedup_p50=round(_percentile(cold, 0.5) / _percentile(warm, 0.5), 2),
+            )
+
+            # Steady state: one warm program, back to back.
+            hot = sources[0]
+            client.run(hot)
+            start = time.perf_counter()
+            for _ in range(SUSTAINED_REQUESTS):
+                client.run(hot)
+            elapsed = time.perf_counter() - start
+            suite.record(
+                "sustained/warm",
+                req_per_s=round(SUSTAINED_REQUESTS / elapsed, 1),
+                requests=SUSTAINED_REQUESTS,
+            )
+    finally:
+        server.close()
+
+    # Degradation under injected worker kills: throughput falls (respawns
+    # and retries cost time), but every request terminates.
+    for prob in KILL_PROBS:
+        server = _Server("--retries", "2",
+                         faults=f"worker_kill:{prob}" if prob else None)
+        try:
+            with server.client() as client:
+                hot = _program(0)
+                client.run(hot)  # prime the cache (first kill hits here too)
+                outcomes = {"value": 0}
+                start = time.perf_counter()
+                for _ in range(SUSTAINED_REQUESTS):
+                    result = client.run(hot)
+                    kind = result["kind"]
+                    outcomes[kind] = outcomes.get(kind, 0) + 1
+                elapsed = time.perf_counter() - start
+            suite.record(
+                f"degradation/kill-{prob}",
+                req_per_s=round(SUSTAINED_REQUESTS / elapsed, 1),
+                value_fraction=round(outcomes["value"] / SUSTAINED_REQUESTS, 3),
+                outcomes=outcomes,
+                kill_prob=prob,
+            )
+        finally:
+            server.close()
+    return suite
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (pytest benchmarks/bench_serve.py)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def warm_server():
+    server = _Server()
+    client = server.client()
+    client.run(_program(0))  # prime
+    yield client
+    client.close()
+    server.close()
+
+
+@pytest.mark.benchmark(group="serve-warm")
+def test_warm_request_round_trip(benchmark, warm_server):
+    result = benchmark(lambda: warm_server.run(_program(0)))
+    assert result["kind"] == "value"
+    assert result["cache"] in ("warm", "hit")
+
+
+if __name__ == "__main__":
+    sys.exit(harness.main("serve", build_suite))

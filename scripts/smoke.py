@@ -164,3 +164,65 @@ with tempfile.TemporaryDirectory() as tmp:
     finally:
         del os.environ["REPRO_GRADUAL_CACHE_DIR"]
 print("images + compile cache + batch: ok")
+
+# The persistent evaluation service: a real server subprocess, concurrent
+# warm/cold requests, one worker SIGKILLed by fault injection (scoped to a
+# single dispatch), and a graceful drain.  Every request must get exactly
+# one terminal response.
+import signal
+import subprocess
+import sys
+import threading
+
+from repro.serve.client import ServeClient
+from repro.serve.protocol import TERMINAL_KINDS
+
+with tempfile.TemporaryDirectory() as tmp:
+    env = dict(
+        os.environ,
+        REPRO_GRADUAL_CACHE_DIR=str(pathlib.Path(tmp) / "cache"),
+        # Kill the worker on exactly one dispatch: the retry must absorb it.
+        REPRO_GRADUAL_FAULTS="worker_kill:1.0:1",
+        REPRO_GRADUAL_FAULTS_SEED="20150613",
+    )
+    env.setdefault("PYTHONPATH", str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+    sock = str(pathlib.Path(tmp) / "serve.sock")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--socket", sock,
+         "--workers", "2", "--retries", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True,
+    )
+    ready = json.loads(proc.stdout.readline())
+    assert ready["event"] == "ready", ready
+
+    square_src = "(define (square [x : int]) : int (* x x))\n(square (: 6 ?))\n"
+    blame_src = "(define lib : ? (lambda (x) #t))\n(+ 1 ((: lib (-> int int)) 3))\n"
+    requests = [(f"c{i}", square_src if i % 2 else blame_src) for i in range(8)]
+    responses: dict[str, dict] = {}
+
+    def fire(rid: str, source: str) -> None:
+        with ServeClient.from_ready(ready) as client:
+            responses[rid] = client.run(source, id=rid)
+
+    threads = [threading.Thread(target=fire, args=pair) for pair in requests]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert len(responses) == len(requests), responses
+    for rid, source in requests:
+        response = responses[rid]
+        assert response["id"] == rid
+        assert response["kind"] in TERMINAL_KINDS, response
+        # The single scoped kill is absorbed by a retry: no worker-lost.
+        assert response["kind"] in ("value", "blame"), response
+    # Warm repeat on one connection, then stats and a graceful SIGTERM drain.
+    with ServeClient.from_ready(ready) as client:
+        warm = client.run(square_src)
+        assert warm["kind"] == "value" and warm["cache"] in ("warm", "hit")
+        stats = client.stats()
+        assert stats["pool"]["crashes"] == 1 and stats["pool"]["lost"] == 0
+    proc.send_signal(signal.SIGTERM)
+    _out, _err = proc.communicate(timeout=30)
+    assert proc.returncode == 0, _err
+print("serve + chaos + drain: ok")

@@ -9,12 +9,17 @@ The pipeline has two phases with different parallelism profiles:
    errors, type errors) are captured as per-program ``"error"`` results
    here; they never reach a worker.
 
-2. **Execute** (across a ``multiprocessing`` pool): each worker receives
-   ``(name, image bytes, fuel)``, deserializes the image — re-interning its
-   pool into the worker's own canonical nodes — and runs it on the VM.
-   With ``workers=1`` everything runs inline in the coordinating process
-   (no pool, no pickling), which is also the deterministic-ordering mode
-   the tests use.
+2. **Execute** (across the fault-tolerant :class:`~repro.serve.pool.WorkerPool`):
+   each worker receives the program name, the image bytes, and the fuel,
+   deserializes the image — re-interning its pool into the worker's own
+   canonical nodes — and runs it on the VM.  A worker that dies mid-job
+   (SIGKILL, OOM) is detected and replaced: the job is retried on a fresh
+   worker, and past the retry budget it is reported as an ``"error"``
+   result with ``"reason": "worker-lost"`` — the record is never silently
+   dropped and the run never hangs (both of which a bare
+   ``multiprocessing.Pool`` does).  With ``workers=1`` everything runs
+   inline in the coordinating process (no pool, no pickling), which is
+   also the deterministic-ordering mode the tests use.
 
 Results are JSON-ready dicts, streamed through an ``on_result`` callback as
 they complete and aggregated by :func:`aggregate_results`.
@@ -190,6 +195,7 @@ def run_batch(
     metrics=None,
     trace_sink=None,
     semantics: str | None = None,
+    faults: str | None = None,
 ) -> tuple[list[dict], dict]:
     """Compile a corpus once and execute it across a worker pool.
 
@@ -213,6 +219,11 @@ def run_batch(
     ``trace_sink`` traces every program's run into one sink; tracing forces
     inline execution (the tracer is process-global state a pool cannot
     share), with each run's ``run_start`` carrying the program name.
+
+    ``faults`` is a fault-injection spec for the worker pool (see
+    :mod:`repro.core.faults`; default: the ``REPRO_GRADUAL_FAULTS``
+    environment variable) — the chaos tests use it to SIGKILL workers
+    mid-corpus and assert every program still gets a terminal record.
     """
     from ..semantics import resolve
 
@@ -272,11 +283,21 @@ def run_batch(
         for job in jobs:
             finish(_execute_job(job))
     else:
-        import multiprocessing
+        from concurrent.futures import ThreadPoolExecutor, as_completed
 
-        with multiprocessing.Pool(min(workers, len(jobs))) as pool:
-            for result in pool.imap_unordered(_execute_job, jobs):
-                finish(result)
+        from ..serve.pool import WorkerPool
+
+        size = min(workers, len(jobs))
+        with WorkerPool(size, faults=faults) as pool, ThreadPoolExecutor(size) as dispatch:
+            futures = [
+                dispatch.submit(
+                    pool.execute,
+                    {"op": "run_image", "program": name, "image": data, "fuel": fuel},
+                )
+                for name, data, fuel in jobs
+            ]
+            for future in as_completed(futures):
+                finish(future.result())
 
     aggregate = aggregate_results(results)
     aggregate["workers"] = 1 if trace_sink is not None else workers

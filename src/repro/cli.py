@@ -32,8 +32,16 @@ Installed as ``repro-gradual``.  Subcommands:
   prints its provenance and disassembly.
 * ``batch PATH...``   — compile a corpus (directories of ``*.grad``,
   manifest files, or programs) once, through the compile cache, and run it
-  across a ``multiprocessing`` worker pool, streaming one JSON line per
-  program plus an aggregate line.
+  across a fault-tolerant worker pool (a worker killed mid-program yields
+  a ``worker-lost`` error record, never a hang), streaming one JSON line
+  per program plus an aggregate line.
+* ``serve``           — run the persistent evaluation service: an asyncio
+  front end (newline-delimited JSON over TCP or ``--socket``) over the
+  same worker pool, keeping interned mediator tables and hot ``.gradb``
+  images warm across requests.  Per-request fuel and wall-clock deadlines,
+  bounded admission with ``overloaded`` shedding, worker recycling, crash
+  retry, graceful SIGTERM drain, and deterministic fault injection via
+  ``REPRO_GRADUAL_FAULTS``.
 * ``check FILE``      — static gradual type checking only.
 * ``translate FILE``  — print the elaborated λB term, or its λC / λS translation.
 * ``space N``         — reproduce the space-efficiency experiment for the
@@ -375,6 +383,36 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return EXIT_VALUE
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve.server import ServeConfig, serve
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        semantics=_resolve_semantics(args) or "coercion",
+        opt_level=args.opt_level,
+        engine=args.engine,
+        fuel=args.fuel,
+        deadline_s=args.deadline,
+        use_cache=not args.no_cache,
+        max_requests=args.max_requests,
+        max_rss_mb=args.max_rss_mb,
+        retries=args.retries,
+        grace_s=args.grace,
+        faults=args.faults,
+    )
+
+    def announce(ready: dict) -> None:
+        print(json.dumps(ready, sort_keys=True), flush=True)
+
+    return serve(config, announce=announce)
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run a program with mediator tracing on and report what the trace saw.
 
@@ -622,6 +660,58 @@ def build_parser() -> argparse.ArgumentParser:
                                    "JSON into FILE; the same snapshot is embedded "
                                    "in the aggregate line")
     batch_parser.set_defaults(handler=_cmd_batch)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the persistent evaluation service",
+        epilog="prints one JSON 'ready' line (pid + bound address) when "
+               "listening; SIGTERM drains gracefully (exit 0), a second "
+               "SIGTERM force-exits 1",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=0,
+                              help="TCP port (default 0: pick an ephemeral port, "
+                                   "reported in the ready line)")
+    serve_parser.add_argument("--socket", default=None, metavar="PATH",
+                              help="serve on a Unix socket at PATH instead of TCP")
+    serve_parser.add_argument("--workers", type=int, default=1,
+                              help="persistent worker processes (default 1)")
+    serve_parser.add_argument("--queue-limit", type=int, default=16,
+                              help="max admitted run requests before shedding "
+                                   "with the 'overloaded' outcome (default 16)")
+    serve_parser.add_argument("--engine", choices=["vm", "rvm"], default="vm",
+                              help="default engine for requests that name none")
+    serve_parser.add_argument("--semantics", choices=list(SEMANTICS_NAMES), default=None,
+                              help="default enforcement semantics (default coercion)")
+    serve_parser.add_argument("--mediator", choices=list(NATURAL_SEMANTICS_NAMES),
+                              default=None,
+                              help="deprecated alias for --semantics")
+    serve_parser.add_argument("-O", "--opt-level", type=int, choices=[0, 1, 2], default=2)
+    serve_parser.add_argument("--fuel", type=int, default=None,
+                              help="default per-request fuel (engine steps before "
+                                   "a timeout outcome)")
+    serve_parser.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                              help="default per-request wall-clock deadline "
+                                   "(cooperative cancellation to a timeout outcome)")
+    serve_parser.add_argument("--no-cache", action="store_true",
+                              help="bypass the on-disk compile cache")
+    serve_parser.add_argument("--max-requests", type=int, default=0,
+                              help="recycle a worker after this many requests "
+                                   "(0 = never; warm state re-seeds from the "
+                                   "compile cache)")
+    serve_parser.add_argument("--max-rss-mb", type=int, default=0,
+                              help="recycle a worker whose RSS exceeds this "
+                                   "(0 = never)")
+    serve_parser.add_argument("--retries", type=int, default=2,
+                              help="re-dispatches after a worker crash before the "
+                                   "request fails as worker-lost (default 2)")
+    serve_parser.add_argument("--grace", type=float, default=5.0, metavar="SECONDS",
+                              help="wall-clock slack past a request's deadline "
+                                   "before the worker is presumed hung and killed")
+    serve_parser.add_argument("--faults", default=None, metavar="SPEC",
+                              help="fault-injection spec site:prob[:limit],... "
+                                   "(default: $REPRO_GRADUAL_FAULTS); sites: "
+                                   "worker_kill, slow_compile, torn_write")
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     check_parser = sub.add_parser("check", help="gradually type check a program")
     check_parser.add_argument("file")

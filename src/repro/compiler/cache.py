@@ -39,6 +39,7 @@ from .bytecode import opcode_fingerprint
 from .regalloc import register_fingerprint
 from .serialize import (
     FORMAT_VERSION,
+    GRADB_MAGIC,
     GRADB_SUFFIX,
     ImageError,
     LoadedImage,
@@ -117,19 +118,36 @@ def _try_load(path: Path, metrics=None) -> LoadedImage | None:
     Entries were written by this library into the user's own cache, so the
     crafted-image bounds validation is skipped (the checksum still catches
     corruption — the failure mode a cache actually has).
+
+    Corruption here means *anything* short of a loadable image: a bad CRC,
+    but also the zero-length or truncated-header entries a crash
+    mid-``os.replace`` leaves behind on filesystems that do not order data
+    and rename, and any decoder surprise (``MemoryError``/``OverflowError``
+    from a garbage length prefix).  Every such entry is deleted and counted
+    as a miss — the cache recompiles; it never raises.
     """
-    if not path.exists():
-        return None
     try:
-        return load_image(path, validate=False)
-    except ImageError:
+        size = path.stat().st_size
+    except OSError:
+        return None
+    corrupt = False
+    if size < len(GRADB_MAGIC) + 5:
+        # Too short to even hold the magic and the CRC trailer: a torn
+        # write for certain.  Skip the parse and go straight to recovery.
+        corrupt = True
+    else:
+        try:
+            return load_image(path, validate=False)
+        except (ImageError, OSError, MemoryError, OverflowError, ValueError):
+            corrupt = True
+    if corrupt:
         if metrics is not None:
             metrics.counter("cache.corrupt").inc()
         try:
             path.unlink()
         except OSError:
             pass
-        return None
+    return None
 
 
 def cache_lookup(
@@ -188,6 +206,7 @@ def cached_compile(
     timed by its own ``lower``/``optimize``/``regalloc`` phases) and the
     ``cache.{hit,miss,recovered,corrupt}`` counters.
     """
+    from ..core.faults import current_plan
     from ..core.pretty import term_to_str
     from ..obs.metrics import phase
     from .opt import DEFAULT_OPT_LEVEL
@@ -206,6 +225,11 @@ def cached_compile(
             metrics.counter("cache.hit").inc()
         return CacheOutcome(image, "hit", path)
 
+    plan = current_plan()
+    if plan is not None:
+        # Fault hook `slow_compile`: a compile that stalls (page cache
+        # miss, contended CPU) — the serving layer's deadline must cover it.
+        plan.delay("slow_compile", 0.1)
     code = compile_term(term, mediator=mediator, opt_level=opt_level, metrics=metrics)
     with phase(metrics, "cache"):
         try:
@@ -226,3 +250,34 @@ def cached_compile(
     if metrics is not None:
         metrics.counter(f"cache.{status}").inc()
     return CacheOutcome(LoadedImage(code, info, rcode), status, path)
+
+
+def sweep_cache(
+    cache_dir: str | os.PathLike | None = None, metrics=None
+) -> tuple[int, int]:
+    """Scan the cache and delete every entry that does not load cleanly.
+
+    Returns ``(kept, removed)``.  ``removed`` counts corrupt/truncated
+    entries *and* orphaned ``*.tmp`` siblings left by a crash between
+    ``tempfile.mkstemp`` and ``os.replace``.  The serving layer runs this
+    on graceful shutdown, so a chaos run (torn-write injection and all)
+    leaves the cache with no corrupt entries; it is also safe to call any
+    time — entries a sweep deletes would have been deleted-and-recompiled
+    on their next lookup anyway.
+    """
+    root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+    kept = removed = 0
+    if not root.is_dir():
+        return kept, removed
+    for entry in sorted(root.rglob("*.tmp")):
+        try:
+            entry.unlink()
+            removed += 1
+        except OSError:
+            pass
+    for entry in sorted(root.rglob(f"*{GRADB_SUFFIX}")):
+        if _try_load(entry, metrics) is None:
+            removed += 1
+        else:
+            kept += 1
+    return kept, removed

@@ -1170,10 +1170,24 @@ def save_image(
     The bytes are written to a temporary sibling and moved into place with
     :func:`os.replace`, so concurrent readers (and the compile cache, which
     is built on this function) never observe a half-written image.
+
+    Fault hook ``torn_write`` (:mod:`repro.core.faults`): when it fires, the
+    write is deliberately torn — a truncated prefix lands at ``path``
+    *without* the atomic rename — simulating a crash mid-``os.replace`` on a
+    filesystem that does not order the data and rename.  The cache's
+    recovery path must treat the result as corrupt and recompile.
     """
+    from ..core.faults import current_plan
+
     path = Path(path)
     data = serialize_image(code, source_hash=source_hash, static_type=static_type, ir=ir)
     path.parent.mkdir(parents=True, exist_ok=True)
+    plan = current_plan()
+    if plan is not None and plan.fires("torn_write"):
+        # Half the image tears mid-payload; every length still fails the
+        # trailing-CRC check (or the magic/header parse) on load.
+        path.write_bytes(data[: len(data) // 2])
+        return path
     fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
         with io.FileIO(fd, "wb") as tmp:

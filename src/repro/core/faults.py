@@ -1,0 +1,198 @@
+"""Deterministic fault injection for chaos testing the runtime layer.
+
+The serving stack (and anything else that opts in) is exercised under
+*injected* failures — worker crashes, slow compiles, torn cache writes —
+instead of waiting for production to produce them.  The injector is
+deliberately boring:
+
+* **A fault plan is a parsed spec string.**  ``REPRO_GRADUAL_FAULTS``
+  holds comma-separated ``site:probability[:limit]`` entries, e.g.::
+
+      REPRO_GRADUAL_FAULTS=worker_kill:0.1,slow_compile:0.05,torn_write:0.02
+      REPRO_GRADUAL_FAULTS=worker_kill:1.0:1      # fire exactly once
+
+  ``site`` names an injection point (the catalogue lives with each hook:
+  ``worker_kill`` in :mod:`repro.serve.pool`, ``slow_compile`` in
+  :mod:`repro.compiler.cache`, ``torn_write`` in
+  :mod:`repro.compiler.serialize`); ``probability`` is the per-draw firing
+  chance; the optional ``limit`` caps total firings so a fault can be
+  scoped to "the first request" in smoke tests.
+
+* **Every draw is seeded.**  Each site gets its own :class:`random.Random`
+  stream keyed on ``(seed, salt, site)`` — ``REPRO_GRADUAL_FAULTS_SEED``
+  (default :data:`DEFAULT_FAULT_SEED`) crossed with a per-process salt —
+  so the *sequence of decisions at a site* is a pure function of the seed,
+  and a chaos run replays bit-identically when requests arrive in the same
+  order.
+
+* **Absence is free.**  Producers guard every hook with
+  ``plan = current_plan()`` / ``if plan is not None``; with the environment
+  variable unset the plan is ``None`` and the hot paths never construct
+  anything.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+#: Environment variable holding the fault spec (empty/unset = no faults).
+FAULTS_ENV = "REPRO_GRADUAL_FAULTS"
+
+#: Environment variable overriding the fault RNG seed.
+FAULTS_SEED_ENV = "REPRO_GRADUAL_FAULTS_SEED"
+
+#: Default seed for fault draws (the repo-wide reproducibility seed).
+DEFAULT_FAULT_SEED = 20150613
+
+
+class FaultSpecError(ValueError):
+    """A fault spec string could not be parsed."""
+
+
+def parse_spec(spec: str) -> dict[str, tuple[float, int | None]]:
+    """Parse ``site:prob[:limit],...`` into ``{site: (prob, limit)}``.
+
+    Raises :class:`FaultSpecError` on malformed entries — a chaos run with
+    a typo'd spec must fail loudly, not silently run fault-free.
+    """
+    sites: dict[str, tuple[float, int | None]] = {}
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        if len(parts) not in (2, 3):
+            raise FaultSpecError(
+                f"malformed fault entry {entry!r} (expected site:prob[:limit])"
+            )
+        site = parts[0].strip()
+        try:
+            prob = float(parts[1])
+        except ValueError as exc:
+            raise FaultSpecError(f"malformed fault probability in {entry!r}") from exc
+        if not 0.0 <= prob <= 1.0:
+            raise FaultSpecError(f"fault probability out of [0, 1] in {entry!r}")
+        limit: int | None = None
+        if len(parts) == 3:
+            try:
+                limit = int(parts[2])
+            except ValueError as exc:
+                raise FaultSpecError(f"malformed fault limit in {entry!r}") from exc
+            if limit < 0:
+                raise FaultSpecError(f"negative fault limit in {entry!r}")
+        if not site:
+            raise FaultSpecError(f"empty fault site in {entry!r}")
+        sites[site] = (prob, limit)
+    return sites
+
+
+class FaultPlan:
+    """Seeded, per-site fault decisions parsed from a spec string.
+
+    One plan per process (or per logical actor — the pool coordinator and
+    each worker carry their own salt, so their draw streams are
+    independent but individually reproducible).
+    """
+
+    def __init__(
+        self,
+        sites: dict[str, tuple[float, int | None]],
+        seed: int = DEFAULT_FAULT_SEED,
+        salt: str = "",
+    ) -> None:
+        self.sites = dict(sites)
+        self.seed = seed
+        self.salt = salt
+        self.fired: dict[str, int] = {}
+        self._rngs: dict[str, random.Random] = {}
+
+    @classmethod
+    def from_spec(
+        cls, spec: str, seed: int | None = None, salt: str = ""
+    ) -> "FaultPlan":
+        if seed is None:
+            seed = _env_seed()
+        return cls(parse_spec(spec), seed=seed, salt=salt)
+
+    def spec(self) -> str:
+        """Re-render the plan as a spec string (for shipping to workers)."""
+        parts = []
+        for site, (prob, limit) in self.sites.items():
+            entry = f"{site}:{prob}"
+            if limit is not None:
+                entry += f":{limit}"
+            parts.append(entry)
+        return ",".join(parts)
+
+    def fires(self, site: str) -> bool:
+        """Draw the next decision for ``site``; ``False`` for unknown sites.
+
+        Each call consumes one draw from the site's seeded stream, and a
+        site past its ``limit`` stops firing (the draw is still consumed,
+        keeping later decisions aligned with an unlimited run).
+        """
+        entry = self.sites.get(site)
+        if entry is None:
+            return False
+        prob, limit = entry
+        rng = self._rngs.get(site)
+        if rng is None:
+            rng = self._rngs[site] = random.Random(f"{self.seed}:{self.salt}:{site}")
+        hit = rng.random() < prob
+        if not hit:
+            return False
+        if limit is not None and self.fired.get(site, 0) >= limit:
+            return False
+        self.fired[site] = self.fired.get(site, 0) + 1
+        return True
+
+    def delay(self, site: str, duration_s: float = 0.05) -> bool:
+        """Sleep ``duration_s`` if the site fires (the slow-path fault)."""
+        if self.fires(site):
+            time.sleep(duration_s)
+            return True
+        return False
+
+
+def _env_seed() -> int:
+    raw = os.environ.get(FAULTS_SEED_ENV)
+    if raw:
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise FaultSpecError(f"malformed {FAULTS_SEED_ENV}: {raw!r}") from exc
+    return DEFAULT_FAULT_SEED
+
+
+#: The process-global plan.  ``_UNSET`` distinguishes "not initialized yet"
+#: from "initialized to None" (no faults configured).
+_UNSET = object()
+_PLAN: object = _UNSET
+
+
+def current_plan() -> FaultPlan | None:
+    """The process's active fault plan, or ``None`` when faults are off.
+
+    Lazily initialized from :data:`FAULTS_ENV` on first call; hooks call
+    this once per injection point and skip everything when it is ``None``.
+    """
+    global _PLAN
+    if _PLAN is _UNSET:
+        spec = os.environ.get(FAULTS_ENV, "")
+        _PLAN = FaultPlan.from_spec(spec) if spec.strip() else None
+    return _PLAN  # type: ignore[return-value]
+
+
+def set_plan(plan: FaultPlan | None) -> None:
+    """Install ``plan`` as the process-global plan (workers and tests)."""
+    global _PLAN
+    _PLAN = plan
+
+
+def reset_plan() -> None:
+    """Forget the cached plan so the next :func:`current_plan` re-reads the
+    environment (test isolation)."""
+    global _PLAN
+    _PLAN = _UNSET

@@ -1,0 +1,87 @@
+"""A small synchronous client for the serve protocol.
+
+Used by the tests, the smoke script, and ``benchmarks/bench_serve.py`` —
+and usable from a REPL::
+
+    from repro.serve.client import ServeClient
+    with ServeClient.connect_tcp("127.0.0.1", 7777) as client:
+        client.run("((lambda ([x : int]) x) 42)")
+
+One socket, one request in flight at a time (the server answers a
+connection's requests in order, so a pipelined client would work, but the
+lockstep client is what keeps chaos runs deterministic).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from .protocol import decode_line, encode_line
+
+
+class ServeClient:
+    """One connection to a running ``repro-gradual serve``."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    @classmethod
+    def connect_tcp(
+        cls, host: str, port: int, timeout: float | None = 30.0
+    ) -> "ServeClient":
+        return cls(socket.create_connection((host, port), timeout=timeout))
+
+    @classmethod
+    def connect_unix(cls, path: str, timeout: float | None = 30.0) -> "ServeClient":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(path)
+        return cls(sock)
+
+    @classmethod
+    def from_ready(cls, ready: dict | str, timeout: float | None = 30.0) -> "ServeClient":
+        """Connect from the server's ``ready`` announcement (dict or line)."""
+        if isinstance(ready, str):
+            ready = json.loads(ready)
+        if "socket" in ready:
+            return cls.connect_unix(ready["socket"], timeout=timeout)
+        return cls.connect_tcp(ready["host"], ready["port"], timeout=timeout)
+
+    def request(self, obj: dict) -> dict:
+        """Send one request object and block for its response."""
+        self._sock.sendall(encode_line(obj))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_line(line)
+
+    def run(self, source: str | None = None, **fields) -> dict:
+        """A ``run`` request; ``fields`` may carry ``source_hash``, ``id``,
+        ``engine``, ``semantics``, ``opt_level``, ``fuel``, ``deadline_s``."""
+        obj = {"op": "run", **fields}
+        if source is not None:
+            obj["source"] = source
+        return self.request(obj)
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -17,6 +17,20 @@ def _isolated_compile_cache(tmp_path, monkeypatch):
     """
     monkeypatch.setenv("REPRO_GRADUAL_CACHE_DIR", str(tmp_path / "compile-cache"))
 
+
+@pytest.fixture(autouse=True)
+def _no_fault_plan():
+    """Reset the process-global fault-injection plan around every test.
+
+    ``current_plan`` caches its environment read, so a test that installs a
+    plan (or sets ``REPRO_GRADUAL_FAULTS``) must not leak it into the next.
+    """
+    from repro.core.faults import reset_plan
+
+    reset_plan()
+    yield
+    reset_plan()
+
 # A single moderate profile: the generators build whole programs, so a few
 # hundred examples per property is plenty and keeps the suite fast.
 settings.register_profile(

@@ -109,6 +109,46 @@ class TestRunBatch:
             assert a["max_pending_mediators"] == b["max_pending_mediators"]
         assert aggregate["workers"] == 2
 
+    def test_killed_worker_yields_worker_lost_record(self, corpus, tmp_path):
+        """A worker SIGKILLed mid-corpus must not lose its in-flight record
+        (or hang the run): past the retry budget the program is reported as
+        an ``error`` with ``"reason": "worker-lost"`` and the shard stats
+        count it."""
+        results, aggregate = run_batch(
+            [corpus], workers=2, fuel=5_000, cache_dir=str(tmp_path / "cache"),
+            faults="worker_kill:1.0",
+        )
+        assert len(results) == 3  # every program has exactly one record
+        for result in results:
+            assert result["kind"] == "error"
+            assert result["reason"] == "worker-lost"
+        assert aggregate["outcomes"]["error"] == 3
+
+    def test_killed_worker_is_retried_transparently(self, corpus, tmp_path):
+        """A kill scoped to one dispatch: the retry succeeds and the corpus
+        result is indistinguishable from an undisturbed run."""
+        inline, _ = run_batch([corpus], workers=1, fuel=5_000,
+                              cache_dir=str(tmp_path / "cache"))
+        chaotic, aggregate = run_batch(
+            [corpus], workers=2, fuel=5_000, cache_dir=str(tmp_path / "cache"),
+            faults="worker_kill:1.0:1",
+        )
+        key = lambda r: r["program"]  # noqa: E731 - tiny sort key
+        for a, b in zip(sorted(inline, key=key), sorted(chaotic, key=key)):
+            assert (a["program"], a["kind"]) == (b["program"], b["kind"])
+            assert a.get("value") == b.get("value")
+            assert a.get("blame") == b.get("blame")
+        assert aggregate["outcomes"]["error"] == 0
+        assert sum(r.get("attempts", 1) for r in chaotic) == len(chaotic) + 1
+
+    def test_faults_environment_reaches_the_pool(self, corpus, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_GRADUAL_FAULTS", "worker_kill:1.0")
+        monkeypatch.setenv("REPRO_GRADUAL_FAULTS_SEED", "20150613")
+        results, _ = run_batch([corpus], workers=2, fuel=5_000,
+                               cache_dir=str(tmp_path / "cache"))
+        assert all(r["reason"] == "worker-lost" for r in results)
+
     def test_results_are_json_serializable(self, corpus, tmp_path):
         results, aggregate = run_batch([corpus], fuel=5_000,
                                        cache_dir=str(tmp_path / "cache"))

@@ -1,0 +1,207 @@
+"""Tests for deterministic fault injection (:mod:`repro.core.faults`) and
+the failure paths it exercises in the compile cache: torn image writes,
+zero-length and truncated-header entries, orphaned temp files, and the
+shutdown-time :func:`~repro.compiler.cache.sweep_cache`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.cache import (
+    cache_lookup,
+    cache_path,
+    cached_compile,
+    sweep_cache,
+)
+from repro.compiler.serialize import GRADB_MAGIC, source_fingerprint
+from repro.core.faults import (
+    DEFAULT_FAULT_SEED,
+    FAULTS_ENV,
+    FaultPlan,
+    FaultSpecError,
+    current_plan,
+    parse_spec,
+    reset_plan,
+    set_plan,
+)
+from repro.surface.cast_insertion import elaborate_program
+from repro.surface.parser import parse_program
+
+SQUARE = "(define (square [x : int]) : int (* x x))\n(square (: 6 ?))\n"
+
+
+def _elaborate(source: str = SQUARE):
+    return elaborate_program(parse_program(source))
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing
+# ---------------------------------------------------------------------------
+
+
+class TestSpecParsing:
+    def test_basic_spec(self):
+        spec = "worker_kill:0.1,slow_compile:0.05,torn_write:0.02"
+        assert parse_spec(spec) == {
+            "worker_kill": (0.1, None),
+            "slow_compile": (0.05, None),
+            "torn_write": (0.02, None),
+        }
+
+    def test_limit_and_whitespace(self):
+        assert parse_spec(" worker_kill : 1.0 : 1 , ") == {"worker_kill": (1.0, 1)}
+
+    def test_empty_spec_is_no_sites(self):
+        assert parse_spec("") == {}
+
+    @pytest.mark.parametrize("bad", [
+        "worker_kill",            # no probability
+        "worker_kill:oops",       # non-numeric probability
+        "worker_kill:1.5",        # out of [0, 1]
+        "worker_kill:0.5:x",      # non-integer limit
+        "worker_kill:0.5:-1",     # negative limit
+        ":0.5",                   # empty site
+        "a:0.5:1:2",              # too many fields
+    ])
+    def test_malformed_specs_fail_loudly(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_spec(bad)
+
+    def test_spec_round_trips(self):
+        plan = FaultPlan.from_spec("worker_kill:0.25,torn_write:1.0:3")
+        assert parse_spec(plan.spec()) == plan.sites
+
+
+class TestFaultPlan:
+    def test_draws_are_deterministic_per_seed(self):
+        a = FaultPlan.from_spec("worker_kill:0.5", seed=7)
+        b = FaultPlan.from_spec("worker_kill:0.5", seed=7)
+        draws = [a.fires("worker_kill") for _ in range(50)]
+        assert draws == [b.fires("worker_kill") for _ in range(50)]
+        assert any(draws) and not all(draws)
+
+    def test_salt_decorrelates_streams(self):
+        a = FaultPlan.from_spec("worker_kill:0.5", seed=7, salt="pool")
+        b = FaultPlan.from_spec("worker_kill:0.5", seed=7, salt="worker0")
+        assert [a.fires("worker_kill") for _ in range(50)] != [
+            b.fires("worker_kill") for _ in range(50)
+        ]
+
+    def test_probability_extremes(self):
+        never = FaultPlan.from_spec("x:0.0")
+        always = FaultPlan.from_spec("x:1.0")
+        assert not any(never.fires("x") for _ in range(20))
+        assert all(always.fires("x") for _ in range(20))
+
+    def test_limit_caps_firings(self):
+        plan = FaultPlan.from_spec("x:1.0:2")
+        assert [plan.fires("x") for _ in range(5)] == [True, True, False, False, False]
+        assert plan.fired["x"] == 2
+
+    def test_unknown_site_never_fires(self):
+        plan = FaultPlan.from_spec("x:1.0")
+        assert not plan.fires("y")
+
+    def test_delay_only_when_fired(self):
+        plan = FaultPlan.from_spec("slow:1.0:1")
+        assert plan.delay("slow", duration_s=0.0)
+        assert not plan.delay("slow", duration_s=0.0)
+
+    def test_current_plan_reads_environment_lazily(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "worker_kill:1.0")
+        reset_plan()
+        plan = current_plan()
+        assert plan is not None
+        assert plan.sites == {"worker_kill": (1.0, None)}
+        assert plan.seed == DEFAULT_FAULT_SEED
+        # The read is cached until reset.
+        monkeypatch.setenv(FAULTS_ENV, "worker_kill:0.0")
+        assert current_plan() is plan
+        reset_plan()
+        assert current_plan().sites == {"worker_kill": (0.0, None)}
+
+    def test_unset_environment_means_no_plan(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        reset_plan()
+        assert current_plan() is None
+
+
+# ---------------------------------------------------------------------------
+# Cache corruption: torn writes, truncation, and the shutdown sweep
+# ---------------------------------------------------------------------------
+
+
+class TestCacheCorruption:
+    def test_torn_write_is_recovered_on_next_compile(self, tmp_path):
+        """A crash mid-write leaves a torn entry; the cache must delete and
+        recompile it, never surface it."""
+        term, ty = _elaborate()
+        set_plan(FaultPlan.from_spec("torn_write:1.0:1"))
+        first = cached_compile(term, static_type=ty, cache_dir=tmp_path)
+        assert first.status == "miss"  # the returned image is still usable
+        data = first.path.read_bytes()
+        assert data.startswith(GRADB_MAGIC) and len(data) > 0  # torn, not atomic
+        set_plan(None)
+        second = cached_compile(term, static_type=ty, cache_dir=tmp_path)
+        assert second.status == "recovered"
+        assert cached_compile(term, static_type=ty, cache_dir=tmp_path).status == "hit"
+
+    def test_torn_write_is_a_lookup_miss_and_deleted(self, tmp_path):
+        term, ty = _elaborate()
+        source_hash = source_fingerprint(SQUARE)
+        set_plan(FaultPlan.from_spec("torn_write:1.0:1"))
+        path = cached_compile(term, source_hash=source_hash, static_type=ty,
+                              cache_dir=tmp_path).path
+        set_plan(None)
+        assert path.exists()
+        assert cache_lookup(source_hash, 2, "coercion", tmp_path) is None
+        assert not path.exists()
+
+    @pytest.mark.parametrize("junk", [b"", b"GRADB\x00", b"GRADB\x00\x02\x00"])
+    def test_zero_length_and_truncated_header_entries(self, tmp_path, junk):
+        """Entries shorter than magic + CRC (what a crash between open and
+        write leaves) are deleted and treated as misses — never raised."""
+        source_hash = source_fingerprint(SQUARE)
+        path = cache_path(source_hash, 2, "coercion", tmp_path)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(junk)
+        assert cache_lookup(source_hash, 2, "coercion", tmp_path) is None
+        assert not path.exists()
+
+    def test_garbage_entry_is_deleted(self, tmp_path):
+        source_hash = source_fingerprint(SQUARE)
+        path = cache_path(source_hash, 2, "coercion", tmp_path)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(GRADB_MAGIC + b"\xff" * 64)
+        assert cache_lookup(source_hash, 2, "coercion", tmp_path) is None
+        assert not path.exists()
+
+    def test_slow_compile_fault_only_delays(self, tmp_path):
+        term, ty = _elaborate()
+        set_plan(FaultPlan.from_spec("slow_compile:1.0:1"))
+        outcome = cached_compile(term, static_type=ty, cache_dir=tmp_path)
+        assert outcome.status == "miss"
+        assert current_plan().fired.get("slow_compile") == 1
+
+
+class TestSweep:
+    def test_sweep_removes_corrupt_entries_and_tmp_orphans(self, tmp_path):
+        term, ty = _elaborate()
+        good = cached_compile(term, static_type=ty, cache_dir=tmp_path)
+        other, other_ty = _elaborate("((lambda ([x : int]) x) 42)")
+        torn = cached_compile(other, static_type=other_ty, cache_dir=tmp_path,
+                              opt_level=0)
+        torn.path.write_bytes(torn.path.read_bytes()[:10])
+        orphan = tmp_path / "ab" / "deadbeef.gradb.tmp"
+        orphan.parent.mkdir(exist_ok=True)
+        orphan.write_bytes(b"partial")
+        kept, removed = sweep_cache(tmp_path)
+        assert (kept, removed) == (1, 2)
+        assert good.path.exists()
+        assert not torn.path.exists() and not orphan.exists()
+
+    def test_sweep_of_missing_or_clean_cache(self, tmp_path):
+        assert sweep_cache(tmp_path / "nonexistent") == (0, 0)
+        term, ty = _elaborate()
+        cached_compile(term, static_type=ty, cache_dir=tmp_path)
+        assert sweep_cache(tmp_path) == (1, 0)
