@@ -226,3 +226,18 @@ with tempfile.TemporaryDirectory() as tmp:
     _out, _err = proc.communicate(timeout=30)
     assert proc.returncode == 0, _err
 print("serve + chaos + drain: ok")
+
+# The rational-programmer experiment: one generated program, inline runner,
+# blame-following must localize under Natural and erasure must never blame.
+from repro.experiment import ExperimentConfig, run_experiment
+from repro.gen import generate_corpus
+
+exp_config = ExperimentConfig(
+    semantics=("coercion", "erasure"), workers=0, max_configs=8,
+    starts_per_fault=2, faults_per_program=2, seed=0,
+)
+_trails, exp_report = run_experiment(generate_corpus(1, seed=0, bindings=4), exp_config)
+assert exp_report["semantics"]["coercion"]["localized"] >= 1, exp_report
+assert exp_report["semantics"]["erasure"]["blame_records"] == 0, exp_report
+json.dumps(exp_report)
+print("rational-programmer experiment: ok")

@@ -29,6 +29,7 @@ Quickstart::
 """
 
 from . import (
+    api,
     core,
     gen,
     lambda_b,
@@ -41,6 +42,7 @@ from . import (
     threesomes,
     translate,
 )
+from .api import RunConfig, RunResult, resolve_config, run
 from .core import (
     BOOL,
     DYN,
@@ -55,9 +57,10 @@ from .core import (
     label,
 )
 
-__version__ = "1.0.0"
+__version__ = "0.7.0"
 
 __all__ = [
+    "api",
     "core",
     "gen",
     "lambda_b",
@@ -78,7 +81,11 @@ __all__ = [
     "FunType",
     "Label",
     "ProdType",
+    "RunConfig",
+    "RunResult",
     "Type",
     "label",
+    "resolve_config",
+    "run",
     "__version__",
 ]

@@ -32,7 +32,6 @@ from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from ..core.errors import ReproError
-from ..core.fuel import DEFAULT_VM_FUEL
 
 #: Manifest suffixes: a text file listing one program path per line
 #: (relative paths resolve against the manifest's directory; blank lines and
@@ -80,18 +79,20 @@ def discover_programs(paths: Sequence[str | Path]) -> list[Path]:
     return corpus
 
 
-def _compile_one(
-    path: Path,
-    mediator: str,
-    opt_level: int,
-    use_cache: bool,
-    cache_dir: str | None,
-) -> tuple[bytes | None, dict]:
-    """Phase 1 for one program: image bytes to ship, plus partial result."""
+def _compile_one(path: Path, config) -> tuple[bytes | None, dict]:
+    """Phase 1 for one program: image bytes to ship, plus partial result.
+
+    ``config`` is the resolved :class:`~repro.api.RunConfig` of the batch —
+    its ``semantics``, ``opt_level``, ``cache``, and ``cache_dir`` drive the
+    compile exactly as they would a single :func:`repro.api.run`.
+    """
     from ..compiler.serialize import serialize_image, source_fingerprint
     from ..compiler.vm import compile_term
     from ..surface.interp import compile_source
 
+    mediator = config.semantics
+    opt_level = config.opt_level
+    cache_dir = config.cache_dir
     name = str(path)
     started = time.perf_counter()
     try:
@@ -99,7 +100,7 @@ def _compile_one(
     except OSError as exc:
         return None, {"program": name, "kind": "error", "error": f"unreadable: {exc}"}
     try:
-        if use_cache:
+        if config.cache:
             from ..compiler.cache import cache_lookup, cache_path, cached_compile
 
             source_hash = source_fingerprint(source)
@@ -187,7 +188,7 @@ def run_batch(
     paths: Sequence[str | Path],
     workers: int = 1,
     fuel: int | None = None,
-    mediator: str = "coercion",
+    mediator: str | None = None,
     opt_level: int = 2,
     use_cache: bool = True,
     cache_dir: str | None = None,
@@ -196,12 +197,18 @@ def run_batch(
     trace_sink=None,
     semantics: str | None = None,
     faults: str | None = None,
+    config=None,
 ) -> tuple[list[dict], dict]:
     """Compile a corpus once and execute it across a worker pool.
 
-    ``semantics`` (overriding the legacy ``mediator`` spelling) names the
-    enforcement semantics every program compiles and runs under — any entry
-    of the :data:`~repro.semantics.SEMANTICS` registry.
+    ``config`` (a :class:`~repro.api.RunConfig`) is the preferred way to
+    select the run knobs; it is resolved through
+    :func:`repro.api.resolve_config` — the same validation path as every
+    other entrypoint.  The individual kwargs survive as a shim: ``semantics``
+    names the enforcement semantics (any entry of the
+    :data:`~repro.semantics.SEMANTICS` registry), overriding the deprecated
+    ``mediator`` spelling, which warns via
+    :func:`repro.api.reconcile_semantics`.
 
     Returns ``(results, aggregate)``: one dict per program (see
     :func:`_execute_job` for the execution fields; front-end failures carry
@@ -225,14 +232,21 @@ def run_batch(
     environment variable) — the chaos tests use it to SIGKILL workers
     mid-corpus and assert every program still gets a terminal record.
     """
-    from ..semantics import resolve
+    from ..api import RunConfig, reconcile_semantics, resolve_config
 
-    if semantics is not None:
-        mediator = semantics
-    resolve(mediator)  # fail fast on an unknown semantics name
+    if config is None:
+        config = RunConfig(
+            engine="vm",
+            semantics=reconcile_semantics(semantics, mediator) or "coercion",
+            opt_level=opt_level,
+            fuel=fuel,
+            cache=use_cache,
+            cache_dir=cache_dir,
+        )
+    config = resolve_config(config)  # fail fast on any invalid knob
     wall_start = time.perf_counter()
     corpus = discover_programs(paths)
-    fuel = fuel if fuel is not None else DEFAULT_VM_FUEL
+    fuel = config.fuel  # resolve_config filled the engine default
 
     results: list[dict] = []
     jobs: list[tuple[str, bytes, int]] = []
@@ -250,7 +264,7 @@ def run_batch(
                 metrics.histogram(f"batch.{key}").observe(result[key])
 
     for path in corpus:
-        data, meta = _compile_one(path, mediator, opt_level, use_cache, cache_dir)
+        data, meta = _compile_one(path, config)
         if data is None:
             note(meta)
             results.append(meta)

@@ -74,9 +74,9 @@ from .core.errors import ParseError, ReproError, TypeCheckError
 from .core.pretty import term_to_str
 from .gen.programs import even_odd_boundary
 from .machine import run_on_machine
+from .api import run
 from .semantics import NATURAL_SEMANTICS_NAMES, SEMANTICS_NAMES
 from .surface.cast_insertion import elaborate_program
-from .surface.interp import run_source
 from .surface.parser import parse_program
 from .translate import b_to_c, b_to_s
 
@@ -93,24 +93,22 @@ def _resolve_semantics(args: argparse.Namespace) -> str | None:
     """The requested enforcement semantics, or ``None`` if neither flag was
     given.  ``--mediator`` survives as a deprecated alias of ``--semantics``
     (it predates the Transient/Erasure backends and names the two Natural
-    representations only); using it warns on stderr."""
-    mediator = getattr(args, "mediator", None)
-    semantics = getattr(args, "semantics", None)
-    if mediator is not None:
+    representations only); using it warns on stderr.  The reconciliation
+    itself lives in :func:`repro.api.reconcile_semantics` — the single shim
+    site — with the CLI supplying the stderr spelling and the
+    contradiction-is-an-error policy."""
+    from .api import reconcile_semantics
+
+    def emit(_mediator: str) -> None:
         print(
             "warning: --mediator is deprecated; use --semantics "
             f"{{{','.join(SEMANTICS_NAMES)}}} instead",
             file=sys.stderr,
         )
-        if semantics is not None and semantics != mediator:
-            from .core.errors import UsageError
 
-            raise UsageError(
-                f"--mediator {mediator} contradicts --semantics {semantics}; "
-                "drop the deprecated --mediator flag"
-            )
-        return mediator
-    return semantics
+    return reconcile_semantics(getattr(args, "semantics", None),
+                               getattr(args, "mediator", None),
+                               emit=emit, conflict="error")
 
 
 def _load_program(path: str):
@@ -199,10 +197,10 @@ def _run_image(args: argparse.Namespace) -> int:
     contradiction — rejected rather than silently ignored (a user comparing
     engines must not get VM results labeled as the machine's).
     """
+    from .api import _from_machine_outcome
     from .compiler import load_image, run_code, run_rcode
     from .core.errors import UsageError
     from .core.fuel import DEFAULT_RVM_FUEL, DEFAULT_VM_FUEL
-    from .surface.interp import _from_machine_outcome
 
     image = load_image(args.file)
     info = image.info
@@ -281,18 +279,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from .obs import MetricsRegistry
 
         metrics = MetricsRegistry()
-    with _maybe_tracing(args.trace, args.file):
-        result = run_source(
-            source,
-            calculus=args.calculus or "S",
-            engine=engine,
-            mediator=_resolve_semantics(args) or "coercion",
-            fuel=args.fuel,
-            opt_level=args.opt_level if args.opt_level is not None else 2,
-            cache=not args.no_cache,
-            opcode_counts=counts,
-            metrics=metrics,
-        )
+    result = run(
+        source,
+        calculus=args.calculus or "S",
+        engine=engine,
+        semantics=_resolve_semantics(args) or "coercion",
+        fuel=args.fuel,
+        opt_level=args.opt_level if args.opt_level is not None else 2,
+        cache=not args.no_cache,
+        trace=args.trace,
+        metrics=metrics,
+        opcode_counts=counts,
+        program_name=args.file,
+    )
     if args.profile:
         _emit_profile(counts, result, engine, metrics)
     if args.metrics:
@@ -363,7 +362,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         args.paths,
         workers=args.workers,
         fuel=args.fuel,
-        mediator=_resolve_semantics(args) or "coercion",
+        semantics=_resolve_semantics(args) or "coercion",
         opt_level=args.opt_level,
         use_cache=not args.no_cache,
         on_result=emit,
@@ -435,7 +434,6 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         TeeSink,
         blame_trail,
         format_trail,
-        tracing,
     )
 
     source = Path(args.file).read_text()
@@ -450,16 +448,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.timeline:
         timeline = SpaceTimeline(inner=sink)
         sink = timeline
-    with tracing(sink, program=args.file):
-        result = run_source(
-            source,
-            calculus=args.calculus or "S",
-            engine=engine,
-            mediator=_resolve_semantics(args) or "coercion",
-            fuel=args.fuel,
-            opt_level=args.opt_level if args.opt_level is not None else 2,
-            cache=not args.no_cache,
-        )
+    result = run(
+        source,
+        calculus=args.calculus or "S",
+        engine=engine,
+        semantics=_resolve_semantics(args) or "coercion",
+        fuel=args.fuel,
+        opt_level=args.opt_level if args.opt_level is not None else 2,
+        cache=not args.no_cache,
+        trace=sink,
+        program_name=args.file,
+    )
     print(result)
     events = collector.events
     kinds = Counter(event["ev"] for event in events)
@@ -514,6 +513,67 @@ def _cmd_space(args: argparse.Namespace) -> int:
             f"{calculus:>8} {stats['max_pending_mediators']:>16} "
             f"{stats['max_pending_size']:>14} {stats['max_kont_depth']:>12} {stats['steps']:>10}"
         )
+    return EXIT_VALUE
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    """Rational-programmer blame evaluation over migration lattices.
+
+    Emits one JSON line per trail (stdout, or ``--output``) followed by the
+    aggregate report (``{"aggregate": ...}``); ``--report`` additionally
+    writes the aggregate to a file.  Exit code 0 when every trail ran, 2
+    for usage errors (unknown semantics, no programs).
+    """
+    import json
+    from pathlib import Path
+
+    from .core.errors import UsageError
+    from .experiment import ExperimentConfig, run_experiment
+
+    programs: list[tuple[str, str]] = []
+    for raw in args.paths:
+        path = Path(raw)
+        if path.is_dir():
+            files = sorted(path.glob("*.grad"))
+        else:
+            files = [path]
+        for file in files:
+            programs.append((str(file), file.read_text()))
+    if args.generate:
+        from .gen import generate_corpus
+
+        programs.extend(
+            generate_corpus(args.generate, seed=args.seed, bindings=args.bindings)
+        )
+    if not programs:
+        raise UsageError("experiment needs .grad paths and/or --generate N")
+
+    semantics = tuple(s.strip() for s in args.semantics.split(",") if s.strip())
+    config = ExperimentConfig(
+        semantics=semantics,
+        engine=args.engine,
+        opt_level=args.opt_level,
+        fuel=args.fuel,
+        workers=args.workers,
+        max_configs=args.max_configs,
+        starts_per_fault=args.starts,
+        faults_per_program=args.faults_per_program,
+        seed=args.seed,
+    )
+
+    out = open(args.output, "w") if args.output else sys.stdout
+
+    def emit(record: dict) -> None:
+        print(json.dumps(record, sort_keys=True), file=out, flush=True)
+
+    try:
+        _, report = run_experiment(programs, config, emit=emit)
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    print(json.dumps({"aggregate": report}, sort_keys=True), flush=True)
+    if args.report:
+        Path(args.report).write_text(json.dumps(report, indent=2) + "\n")
     return EXIT_VALUE
 
 
@@ -725,6 +785,53 @@ def build_parser() -> argparse.ArgumentParser:
     space_parser = sub.add_parser("space", help="run the space-efficiency experiment")
     space_parser.add_argument("n", type=int, nargs="?", default=1000)
     space_parser.set_defaults(handler=_cmd_space)
+
+    experiment_parser = sub.add_parser(
+        "experiment",
+        help="rational-programmer blame evaluation over migration lattices",
+        epilog=(
+            "plants type-level faults, follows blame labels across typed/untyped "
+            "splits of each program's bindings, and reports localization rates "
+            "and trail lengths per enforcement semantics"
+        ),
+    )
+    experiment_parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help=".grad files or directories of .grad programs")
+    experiment_parser.add_argument(
+        "--generate", type=int, default=0, metavar="N",
+        help="add N seeded generated programs to the corpus")
+    experiment_parser.add_argument(
+        "--bindings", type=int, default=5,
+        help="definitions per generated program (lattice size 2^bindings)")
+    experiment_parser.add_argument(
+        "--semantics", default="coercion,threesome,transient,erasure",
+        metavar="LIST", help="comma-separated enforcement semantics to sweep "
+        "(erasure is the null baseline)")
+    experiment_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker-pool processes (0 runs inline in-process)")
+    experiment_parser.add_argument(
+        "--engine", choices=["vm", "rvm"], default="vm")
+    experiment_parser.add_argument(
+        "-O", "--opt-level", type=int, choices=[0, 1, 2], default=2)
+    experiment_parser.add_argument("--fuel", type=int, default=200_000)
+    experiment_parser.add_argument(
+        "--max-configs", type=int, default=64,
+        help="lattice cutoff: enumerate fully below, sample above")
+    experiment_parser.add_argument(
+        "--starts", type=int, default=4,
+        help="trail starting configurations per fault")
+    experiment_parser.add_argument(
+        "--faults-per-program", type=int, default=4)
+    experiment_parser.add_argument("--seed", type=int, default=0)
+    experiment_parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write per-trail JSON lines here instead of stdout")
+    experiment_parser.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="also write the aggregate report to FILE as JSON")
+    experiment_parser.set_defaults(handler=_cmd_experiment)
 
     return parser
 

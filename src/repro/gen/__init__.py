@@ -21,6 +21,7 @@ from .programs import (
     untyped_client_bad_argument,
     untyped_library_bad_result,
 )
+from .surface_programs import generate_corpus, generate_program
 from .terms_gen import TermGenerator, random_lambda_b_term, random_programs
 from .types_gen import (
     random_cast_path,
@@ -48,6 +49,8 @@ __all__ = [
     "untyped_client_bad_argument",
     "untyped_library_bad_result",
     "TermGenerator",
+    "generate_corpus",
+    "generate_program",
     "random_lambda_b_term",
     "random_programs",
     "random_cast_path",

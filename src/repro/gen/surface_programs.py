@@ -1,0 +1,132 @@
+"""Seeded multi-binding surface programs for migration-lattice experiments.
+
+The shipped ``.grad`` corpus is small; the rational-programmer experiment
+(:mod:`repro.experiment`) needs *many* multi-binding programs to put
+thousands of lattice configurations through the pipeline.  This generator
+produces them: fully annotated, deterministic for a seed, and shaped like
+the experiment wants —
+
+* a DAG of single-argument definitions (binding *k* only calls bindings
+  ``< k``), so blame has real inter-binding boundaries to cross and the
+  reference graph the driver navigates is connected and acyclic;
+* int functions, bool predicates, and conditional combiners, so all three
+  fault kinds (wrong return, wrong argument, wrong annotation) apply;
+* a main expression that reaches every root of the DAG, so every planted
+  fault is exercisable in some configuration;
+* arithmetic restricted to total operators (no division), so the only
+  runtime failures are the ones the experiment plants.
+
+Programs are emitted as source text: the experiment's unit of work is a
+rendered configuration, and text keeps the generator independent of AST
+internals.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Binding kinds the generator draws from.
+_INT_FUN = "int-fun"
+_BOOL_PRED = "bool-pred"
+_COND = "cond"
+
+
+def _int_body(rng: random.Random, var: str, int_funs: list[str]) -> str:
+    """An int-valued expression over ``var``, literals, and earlier calls."""
+    choices = ["literal", "binop", "unop"]
+    if int_funs:
+        choices += ["call", "call-binop"]
+    kind = rng.choice(choices)
+    if kind == "literal":
+        return str(rng.randint(0, 9))
+    if kind == "binop":
+        op = rng.choice(["+", "-", "*", "min", "max"])
+        return f"({op} {var} {rng.randint(1, 9)})"
+    if kind == "unop":
+        op = rng.choice(["inc", "dec", "abs"])
+        return f"({op} {var})"
+    callee = rng.choice(int_funs)
+    if kind == "call":
+        return f"({callee} ({rng.choice(['+', '-'])} {var} {rng.randint(1, 5)}))"
+    op = rng.choice(["+", "*"])
+    return f"({op} ({callee} {var}) {rng.randint(1, 5)})"
+
+
+def generate_program(seed: int, bindings: int = 5) -> str:
+    """One fully annotated multi-binding program, deterministic for a seed.
+
+    ``bindings`` counts the definitions (minimum 2); the lattice over the
+    result therefore has ``2**bindings`` configurations.
+    """
+    if bindings < 2:
+        raise ValueError(f"need at least 2 bindings, got {bindings}")
+    rng = random.Random(f"surface-program|{seed}|{bindings}")
+    lines: list[str] = []
+    kinds: dict[str, str] = {}
+    referenced: set[str] = set()
+
+    for index in range(bindings):
+        name = f"f{index}"
+        int_funs = [n for n, k in kinds.items() if k in (_INT_FUN, _COND)]
+        preds = [n for n, k in kinds.items() if k == _BOOL_PRED]
+        # The first binding must be an int function (everything else wants
+        # one to call); conditionals additionally need a predicate.
+        options = [_INT_FUN]
+        if index >= 1:
+            options.append(_BOOL_PRED)
+        if preds and int_funs:
+            options.append(_COND)
+        kind = rng.choice(options)
+        kinds[name] = kind
+        if kind == _INT_FUN:
+            body = _int_body(rng, "x", int_funs)
+            lines.append(f"(define (f{index} [x : int]) : int {body})")
+        elif kind == _BOOL_PRED:
+            cmp_op = rng.choice(["<", "<=", ">", ">=", "="])
+            if int_funs and rng.random() < 0.5:
+                callee = rng.choice(int_funs)
+                subject = f"({callee} x)"
+                referenced.add(callee)
+            else:
+                subject = "x"
+            body = f"({cmp_op} {subject} {rng.randint(0, 9)})"
+            lines.append(f"(define (f{index} [x : int]) : bool {body})")
+        else:
+            pred = rng.choice(preds)
+            then_fun = rng.choice(int_funs)
+            other = rng.choice(int_funs + [str(rng.randint(0, 9))])
+            else_expr = other if other.isdigit() else f"({other} {rng.randint(0, 5)})"
+            body = f"(if ({pred} x) ({then_fun} x) {else_expr})"
+            referenced.update({pred, then_fun} | ({other} & kinds.keys()))
+            lines.append(f"(define (f{index} [x : int]) : int {body})")
+        # Record the calls _int_body may have made (cheap textual scan —
+        # names are unambiguous tokens).
+        for earlier in kinds:
+            if earlier != name and f"({earlier} " in lines[-1]:
+                referenced.add(earlier)
+
+    # Main reaches every DAG root so every binding — and therefore every
+    # planted fault — is exercisable from the program's entry point.
+    roots = [n for n in kinds if n not in referenced]
+    parts = []
+    for root in roots:
+        arg = rng.randint(0, 9)
+        if kinds[root] == _BOOL_PRED:
+            parts.append(f"(if ({root} {arg}) 1 0)")
+        else:
+            parts.append(f"({root} {arg})")
+    main = parts[0]
+    for part in parts[1:]:
+        main = f"(+ {main} {part})"
+    lines.append(main)
+    return "\n".join(lines) + "\n"
+
+
+def generate_corpus(
+    count: int, seed: int = 0, bindings: int = 5
+) -> list[tuple[str, str]]:
+    """``count`` named programs: ``[(name, source), ...]``, seeded."""
+    return [
+        (f"gen-{seed}-{index}", generate_program(seed * 10_000 + index, bindings))
+        for index in range(count)
+    ]

@@ -76,8 +76,6 @@ def normalize_run_request(obj: dict, defaults: dict) -> dict:
     carries the server's ``semantics`` / ``opt_level`` / ``engine`` /
     ``fuel`` / ``deadline_s`` / ``cache_dir`` / ``use_cache``.
     """
-    from ..semantics import SEMANTICS_NAMES
-
     source = obj.get("source")
     source_hash = obj.get("source_hash")
     if source is None and source_hash is None:
@@ -91,13 +89,18 @@ def normalize_run_request(obj: dict, defaults: dict) -> dict:
     if engine not in SERVE_ENGINES:
         raise ValueError(f"unknown engine {engine!r} (expected one of {SERVE_ENGINES})")
     semantics = obj.get("semantics", obj.get("mediator", defaults["semantics"]))
-    if semantics not in SEMANTICS_NAMES:
-        raise ValueError(
-            f"unknown semantics {semantics!r} (expected one of {SEMANTICS_NAMES})"
-        )
     opt_level = obj.get("opt_level", defaults["opt_level"])
-    if opt_level not in (0, 1, 2):
+    if not isinstance(opt_level, int) or isinstance(opt_level, bool):
         raise ValueError(f"opt_level must be 0, 1, or 2, got {opt_level!r}")
+    # The shared validation path: the same checks every other entrypoint
+    # runs, re-raised with the protocol's client-presentable error type.
+    from ..api import resolve_config
+    from ..core.errors import UsageError
+
+    try:
+        resolve_config(engine=engine, semantics=semantics, opt_level=opt_level)
+    except (UsageError, ValueError) as exc:
+        raise ValueError(str(exc)) from None
     fuel = obj.get("fuel", defaults["fuel"])
     if fuel is not None and (not isinstance(fuel, int) or fuel <= 0):
         raise ValueError(f"fuel must be a positive integer, got {fuel!r}")

@@ -65,16 +65,29 @@ class Server:
     """One serving process: pool, executor, listener, and drain logic."""
 
     def __init__(self, config: ServeConfig, metrics: MetricsRegistry | None = None):
+        from ..api import resolve_config
+
         self.config = config
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Fail fast at startup through the shared validation path: the same
+        # resolve_config every other entrypoint uses (per-request overrides
+        # re-validate in normalize_run_request).
+        run_defaults = resolve_config(
+            engine=config.engine,
+            semantics=config.semantics,
+            opt_level=config.opt_level,
+            fuel=config.fuel,
+            cache=config.use_cache,
+            cache_dir=config.cache_dir,
+        )
         self._defaults = {
-            "semantics": config.semantics,
-            "opt_level": config.opt_level,
-            "engine": config.engine,
+            "semantics": run_defaults.semantics,
+            "opt_level": run_defaults.opt_level,
+            "engine": run_defaults.engine,
             "fuel": config.fuel,
             "deadline_s": config.deadline_s,
-            "cache_dir": config.cache_dir,
-            "use_cache": config.use_cache,
+            "cache_dir": run_defaults.cache_dir,
+            "use_cache": run_defaults.cache,
         }
         self._pool: WorkerPool | None = None
         self._executor: ThreadPoolExecutor | None = None

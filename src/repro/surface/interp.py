@@ -25,105 +25,42 @@ Backends are therefore a triple of knobs:
 
 * ``calculus`` — ``"B"``, ``"C"``, or ``"S"``: which calculus the elaborated
   program is translated into (the VM supports ``"S"`` only);
-* ``engine`` — ``"vm"``, ``"machine"`` (default), or ``"subst"``;
-* ``mediator`` (alias ``semantics``) — the *enforcement semantics* the λS
-  machine and the VMs run casts under, any entry of the
-  :data:`~repro.semantics.SEMANTICS` registry: ``"coercion"`` (default,
-  Natural via canonical coercions merged with ``#``), ``"threesome"``
-  (Natural via labeled types, §6.1, merged with ``∘``), ``"transient"``
-  (shallow tag checks; blame may diverge from Natural), or ``"erasure"``
-  (no enforcement, never blames).  The two Natural backends are
-  observationally equivalent (``check_mediator_oracle``); the substitution
-  oracle reduces coercion terms literally and supports only ``"coercion"``.
+* ``engine`` — ``"vm"``, ``"rvm"``, ``"machine"`` (default), or ``"subst"``;
+* ``semantics`` — the *enforcement semantics* the λS machine and the VMs
+  run casts under, any entry of the :data:`~repro.semantics.SEMANTICS`
+  registry: ``"coercion"`` (default, Natural via canonical coercions merged
+  with ``#``), ``"threesome"`` (Natural via labeled types, §6.1, merged
+  with ``∘``), ``"transient"`` (shallow tag checks; blame may diverge from
+  Natural), or ``"erasure"`` (no enforcement, never blames).  The two
+  Natural backends are observationally equivalent
+  (``check_mediator_oracle``); the substitution oracle reduces coercion
+  terms literally and supports only ``"coercion"``.
+
+.. deprecated::
+   :func:`run_source` and :func:`run_term` survive as thin kwarg shims over
+   :func:`repro.api.run`; new code should build a
+   :class:`repro.api.RunConfig` and call ``repro.api.run`` directly.  The
+   legacy ``mediator=`` kwarg warns (via
+   :func:`repro.api.reconcile_semantics`, the single deprecation site) —
+   spell the axis ``semantics=``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from ..compiler.opt import DEFAULT_OPT_LEVEL, OPT_LEVELS
-from ..core.errors import UsageError
-from ..core.fuel import (
-    DEFAULT_MACHINE_FUEL,
-    DEFAULT_RVM_FUEL,
-    DEFAULT_SUBST_FUEL,
-    DEFAULT_VM_FUEL,
+from ..api import (  # noqa: F401  (re-exported: the historical home of these names)
+    DEFAULT_FUEL,
+    ENGINES,
+    VM_ENGINES,
+    RunConfig,
+    RunResult,
+    _from_machine_outcome,
+    reconcile_semantics,
 )
-from ..core.labels import Label
+from ..api import run as _api_run
+from ..compiler.opt import DEFAULT_OPT_LEVEL
 from ..core.terms import Term
 from ..core.types import Type
-from ..lambda_b import reduction as reduction_b
-from ..lambda_c import reduction as reduction_c
-from ..lambda_s import reduction as reduction_s
-from ..machine import run_on_machine
-from ..obs.metrics import phase, record_run
-from ..semantics import SEMANTICS_NAMES
-from ..translate import b_to_c, c_to_s
-from .cast_insertion import elaborate_program
-from .parser import parse_program
-
-#: The four execution engines: the stack bytecode VM, the register VM
-#: (packed-stream dispatch over the register IR — the fastest engine), the
-#: CEK machine, and the substitution-based reference oracle.
-#: :data:`~repro.semantics.SEMANTICS_NAMES` is the second axis: the
-#: enforcement semantics of the λS machine and both VMs.
-ENGINES = ("vm", "rvm", "machine", "subst")
-
-#: The two compiled engines: λS only, ``opt_level`` applies, cacheable.
-VM_ENGINES = ("vm", "rvm")
-
-#: Default fuel per engine, in that engine's own step unit.  All four come
-#: from :mod:`repro.core.fuel`, the single source of fuel defaults.
-DEFAULT_FUEL = {
-    "vm": DEFAULT_VM_FUEL,
-    "rvm": DEFAULT_RVM_FUEL,
-    "machine": DEFAULT_MACHINE_FUEL,
-    "subst": DEFAULT_SUBST_FUEL,
-}
-
-
-@dataclass(frozen=True)
-class RunResult:
-    """The outcome of running a surface program.
-
-    ``kind`` is ``"value"``, ``"blame"``, or ``"timeout"``; the timeout shape
-    is identical for every engine (``steps`` holds the fuel spent).
-    """
-
-    kind: str  # 'value' | 'blame' | 'timeout'
-    value: object = None
-    blame_label: Label | None = None
-    type: Type | None = None
-    calculus: str = "S"
-    engine: str = "machine"
-    mediator: str = "coercion"
-    space_stats: dict | None = None
-    steps: int = 0
-
-    @property
-    def semantics(self) -> str:
-        """The enforcement semantics this run executed under (see
-        :data:`repro.semantics.SEMANTICS`); an alias of ``mediator``."""
-        return self.mediator
-
-    @property
-    def is_value(self) -> bool:
-        return self.kind == "value"
-
-    @property
-    def is_blame(self) -> bool:
-        return self.kind == "blame"
-
-    @property
-    def is_timeout(self) -> bool:
-        return self.kind == "timeout"
-
-    def __str__(self) -> str:  # pragma: no cover - presentation
-        if self.kind == "value":
-            return f"{self.value!r} : {self.type}"
-        if self.kind == "blame":
-            return f"blame {self.blame_label}"
-        return f"timeout after {self.steps} {self.engine} steps"
+from ..obs.metrics import phase
 
 
 def compile_source(source: str, metrics=None) -> tuple[Term, Type]:
@@ -132,6 +69,9 @@ def compile_source(source: str, metrics=None) -> tuple[Term, Type]:
     ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) gets the
     ``parse`` and ``elaborate`` phase timers (elaboration is type checking
     plus cast insertion — one traversal, timed as one phase)."""
+    from .cast_insertion import elaborate_program
+    from .parser import parse_program
+
     with phase(metrics, "parse"):
         program = parse_program(source)
     with phase(metrics, "elaborate"):
@@ -147,32 +87,13 @@ def _resolve_engine(engine: str | None, use_machine: bool | None) -> str:
     return resolved
 
 
-def _validate_vm_knobs(calculus: str, mediator: str, opt_level: int,
-                       engine: str = "vm") -> None:
-    """The compiled engines' shared argument validation (run_term and the
-    warm cache path of run_source raise identical errors by construction)."""
-    if mediator not in SEMANTICS_NAMES:
-        raise UsageError(
-            f"unknown semantics {mediator!r}; expected one of {SEMANTICS_NAMES}"
-        )
-    if opt_level not in OPT_LEVELS:
-        raise UsageError(
-            f"unknown optimization level {opt_level!r}; expected one of {OPT_LEVELS}"
-        )
-    if calculus != "S":
-        raise UsageError(
-            f"engine {engine!r} implements λS only (requested calculus {calculus!r}); "
-            "use engine='machine' for λB or λC"
-        )
-
-
 def run_source(
     source: str,
     calculus: str = "S",
     use_machine: bool | None = None,
     fuel: int | None = None,
     engine: str = "machine",
-    mediator: str = "coercion",
+    mediator: str | None = None,
     opt_level: int = DEFAULT_OPT_LEVEL,
     cache: bool = False,
     cache_dir: str | None = None,
@@ -182,60 +103,32 @@ def run_source(
 ) -> RunResult:
     """Run a surface program and report its outcome.
 
+    .. deprecated:: kwarg shim over :func:`repro.api.run` — new code should
+       pass a :class:`repro.api.RunConfig`.  ``mediator=`` (deprecated)
+       warns and is reconciled into ``semantics=`` at the single shim site.
+
     With ``cache=True`` (vm/rvm engines only) the compiled bytecode image is
     looked up in — and stored to — the on-disk compile cache
     (:mod:`repro.compiler.cache`), keyed on the *source text*: a warm run
     deserializes the ``.gradb`` image and skips parsing, type checking,
-    elaboration, lowering, and optimization entirely.  The program's static
-    type rides along in the image's provenance, so even the reported
-    ``value : type`` needs no front end.  (The rvm engine caches register
-    images, under their own key.)
-
-    ``opcode_counts`` (vm/rvm engines) is an optional dict the run fills
-    with per-opcode dispatch counts — the ``--profile`` hook.
-    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`, or ``None``
-    for zero-cost off) collects per-phase pipeline timings (parse,
-    elaborate, lower, optimize, regalloc, cache, run), cache
-    hit/miss/corrupt counters, and the run's outcome/space counters.
+    elaboration, lowering, and optimization entirely.  ``opcode_counts``
+    (vm/rvm engines) is an optional dict the run fills with per-opcode
+    dispatch counts; ``metrics`` collects per-phase pipeline timings and
+    outcome counters.
     """
-    resolved = _resolve_engine(engine, use_machine)
-    if semantics is not None:
-        mediator = semantics
-    if cache and resolved in VM_ENGINES:
-        from ..compiler.cache import cache_lookup
-        from ..compiler.serialize import source_fingerprint
-
-        _validate_vm_knobs(calculus.upper(), mediator, opt_level, resolved)
-        source_hash = source_fingerprint(source)
-        ir = "register" if resolved == "rvm" else "stack"
-        image = cache_lookup(source_hash, opt_level, mediator, cache_dir, ir,
-                             metrics=metrics)
-        if image is not None:
-            run_fuel = fuel if fuel is not None else DEFAULT_FUEL[resolved]
-            if resolved == "rvm":
-                from ..compiler.rvm import run_rcode
-
-                with phase(metrics, "run"):
-                    outcome = run_rcode(image.rcode, run_fuel,
-                                        opcode_counts=opcode_counts)
-            else:
-                from ..compiler.vm import run_code
-
-                with phase(metrics, "run"):
-                    outcome = run_code(image.code, run_fuel,
-                                       opcode_counts=opcode_counts)
-            record_run(metrics, outcome.kind, outcome.stats, resolved)
-            return _from_machine_outcome(outcome, image.info.static_type, "S",
-                                         resolved, mediator)
-        term, ty = compile_source(source, metrics)
-        return run_term(term, ty, calculus=calculus, fuel=fuel, engine=resolved,
-                        mediator=mediator, opt_level=opt_level,
-                        cache=True, cache_dir=cache_dir, source_hash=source_hash,
-                        opcode_counts=opcode_counts, metrics=metrics)
-    term, ty = compile_source(source, metrics)
-    return run_term(term, ty, calculus=calculus, use_machine=use_machine,
-                    fuel=fuel, engine=engine, mediator=mediator, opt_level=opt_level,
-                    opcode_counts=opcode_counts, metrics=metrics)
+    resolved_semantics = reconcile_semantics(semantics, mediator) or "coercion"
+    return _api_run(
+        source,
+        engine=_resolve_engine(engine, use_machine),
+        semantics=resolved_semantics,
+        calculus=calculus,
+        fuel=fuel,
+        opt_level=opt_level,
+        cache=cache,
+        cache_dir=cache_dir,
+        metrics=metrics,
+        opcode_counts=opcode_counts,
+    )
 
 
 def run_term(
@@ -245,7 +138,7 @@ def run_term(
     use_machine: bool | None = None,
     fuel: int | None = None,
     engine: str = "machine",
-    mediator: str = "coercion",
+    mediator: str | None = None,
     opt_level: int = DEFAULT_OPT_LEVEL,
     cache: bool = False,
     cache_dir: str | None = None,
@@ -255,127 +148,26 @@ def run_term(
     semantics: str | None = None,
 ) -> RunResult:
     """Run an elaborated λB term on the chosen calculus, engine, and
-    enforcement semantics (``semantics`` overrides the legacy ``mediator``
-    spelling when both are given).
+    enforcement semantics.
 
-    ``opt_level`` is the bytecode optimizer's ``-O`` level (0/1/2, default
-    2); it shapes what the compiled engines (**vm**, **rvm**) execute and is
-    ignored by the tree interpreters, which have no compilation stage.
-    ``cache=True`` routes a compiled engine's compilation through the
-    on-disk compile cache (keyed on ``source_hash`` when given, otherwise on
-    the pretty-printed term; the rvm engine caches register images under
-    their own key); the tree interpreters ignore it for the same reason they
-    ignore ``opt_level``.  ``opcode_counts`` (compiled engines) is an
-    optional dict filled with per-opcode dispatch counts.  ``metrics``
-    collects phase timings and run counters exactly as in
-    :func:`run_source` (minus the front-end phases, which happened before
-    this function was called).
+    .. deprecated:: kwarg shim over :func:`repro.api.run` — new code should
+       pass a :class:`repro.api.RunConfig`.  ``semantics`` overrides the
+       legacy ``mediator`` spelling when both are given; ``mediator=``
+       warns from the single shim site
+       (:func:`repro.api.reconcile_semantics`).
     """
-    calculus = calculus.upper()
-    engine = _resolve_engine(engine, use_machine)
-    if semantics is not None:
-        mediator = semantics
-    if mediator not in SEMANTICS_NAMES:
-        raise UsageError(
-            f"unknown semantics {mediator!r}; expected one of {SEMANTICS_NAMES}"
-        )
-    if opt_level not in OPT_LEVELS:
-        raise UsageError(
-            f"unknown optimization level {opt_level!r}; expected one of {OPT_LEVELS}"
-        )
-    if fuel is None:
-        fuel = DEFAULT_FUEL[engine]
-
-    if engine in VM_ENGINES:
-        _validate_vm_knobs(calculus, mediator, opt_level, engine)
-        if cache:
-            from ..compiler.cache import cached_compile
-
-            ir = "register" if engine == "rvm" else "stack"
-            found = cached_compile(term, source_hash=source_hash, static_type=ty,
-                                   mediator=mediator, opt_level=opt_level,
-                                   cache_dir=cache_dir, ir=ir, metrics=metrics)
-            if ty is None:
-                ty = found.image.info.static_type
-            if engine == "rvm":
-                from ..compiler.rvm import run_rcode
-
-                with phase(metrics, "run"):
-                    outcome = run_rcode(found.image.rcode, fuel,
-                                        opcode_counts=opcode_counts)
-            else:
-                from ..compiler.vm import run_code
-
-                with phase(metrics, "run"):
-                    outcome = run_code(found.image.code, fuel,
-                                       opcode_counts=opcode_counts)
-        elif engine == "rvm":
-            from ..compiler.rvm import compile_term_registers, run_rcode
-
-            rcode = compile_term_registers(term, mediator=mediator,
-                                           opt_level=opt_level, metrics=metrics)
-            with phase(metrics, "run"):
-                outcome = run_rcode(rcode, fuel, opcode_counts=opcode_counts)
-        else:
-            from ..compiler.vm import compile_term, run_code
-
-            code = compile_term(term, mediator=mediator, opt_level=opt_level,
-                                metrics=metrics)
-            with phase(metrics, "run"):
-                outcome = run_code(code, fuel, opcode_counts=opcode_counts)
-        record_run(metrics, outcome.kind, outcome.stats, engine)
-        return _from_machine_outcome(outcome, ty, calculus, engine, mediator)
-
-    if engine == "machine":
-        # run_on_machine validates the calculus × mediator combination.
-        with phase(metrics, "run"):
-            outcome = run_on_machine(term, calculus, fuel, mediator=mediator)
-        record_run(metrics, outcome.kind, outcome.stats, engine)
-        return _from_machine_outcome(outcome, ty, calculus, engine, mediator)
-
-    if mediator != "coercion":
-        raise UsageError(
-            "engine 'subst' reduces coercion terms literally and supports "
-            f"only the 'coercion' semantics (requested {mediator!r}); "
-            "use engine='machine' or engine='vm'"
-        )
-    with phase(metrics, "run"):
-        if calculus == "B":
-            outcome = reduction_b.run(term, fuel)
-        elif calculus == "C":
-            outcome = reduction_c.run(b_to_c(term), fuel)
-        elif calculus == "S":
-            outcome = reduction_s.run(c_to_s(b_to_c(term)), fuel)
-        else:
-            raise ValueError(f"unknown calculus {calculus!r}")
-    record_run(metrics, outcome.kind, {"steps": outcome.steps}, engine)
-    if outcome.is_value:
-        # Same projection as the machine/VM engines' python_value(), so every
-        # engine's RunResult.value is directly comparable.
-        from ..properties.bisimulation import reducer_value_to_python
-
-        value = reducer_value_to_python(outcome.term)
-        return RunResult("value", value, type=ty, calculus=calculus, engine=engine,
-                         steps=outcome.steps)
-    if outcome.is_blame:
-        return RunResult("blame", blame_label=outcome.label, type=ty, calculus=calculus,
-                         engine=engine, steps=outcome.steps)
-    return RunResult("timeout", type=ty, calculus=calculus, engine=engine,
-                     steps=outcome.steps)
-
-
-def _from_machine_outcome(outcome, ty, calculus: str, engine: str,
-                          mediator: str = "coercion") -> RunResult:
-    """Map a :class:`~repro.machine.cek.MachineOutcome` (machine or VM) to a
-    :class:`RunResult` — one code path so the outcome shapes stay uniform."""
-    steps = (outcome.stats or {}).get("steps", 0)
-    if outcome.is_value:
-        return RunResult("value", outcome.python_value(), type=ty, calculus=calculus,
-                         engine=engine, mediator=mediator, space_stats=outcome.stats,
-                         steps=steps)
-    if outcome.is_blame:
-        return RunResult("blame", blame_label=outcome.label, type=ty, calculus=calculus,
-                         engine=engine, mediator=mediator, space_stats=outcome.stats,
-                         steps=steps)
-    return RunResult("timeout", type=ty, calculus=calculus, engine=engine,
-                     mediator=mediator, space_stats=outcome.stats, steps=steps)
+    resolved_semantics = reconcile_semantics(semantics, mediator) or "coercion"
+    return _api_run(
+        term,
+        engine=_resolve_engine(engine, use_machine),
+        semantics=resolved_semantics,
+        calculus=calculus,
+        fuel=fuel,
+        opt_level=opt_level,
+        cache=cache,
+        cache_dir=cache_dir,
+        metrics=metrics,
+        type=ty,
+        source_hash=source_hash,
+        opcode_counts=opcode_counts,
+    )

@@ -1,0 +1,205 @@
+"""Tests for :mod:`repro.api` — the single run-configuration surface.
+
+Every entrypoint (CLI run, batch, serve, experiment driver) resolves its
+knobs through :func:`repro.api.resolve_config` and executes through
+:func:`repro.api.run`; the old keyword entrypoints survive as deprecating
+shims.  These tests pin the resolution rules, the one-site ``mediator=``
+deprecation, and the result metadata (``RunResult.config`` /
+``cache_status``).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import (
+    DEFAULT_FUEL,
+    RunConfig,
+    RunResult,
+    reconcile_semantics,
+    resolve_config,
+    run,
+)
+from repro.core.errors import UsageError
+
+SQUARE = "(define (square [x : int]) : int (* x x))\n(square (: 6 ?))\n"
+BLAME = "(define lib : ? (lambda (x) #t))\n(+ 1 ((: lib (-> int int)) 3))\n"
+
+
+class TestResolveConfig:
+    def test_defaults(self):
+        cfg = resolve_config()
+        assert cfg.engine == "machine"
+        assert cfg.semantics == "coercion"
+        assert cfg.calculus == "S"
+        assert cfg.fuel == DEFAULT_FUEL["machine"]
+
+    def test_overrides_on_existing_config(self):
+        base = RunConfig(engine="vm")
+        cfg = resolve_config(base, semantics="threesome")
+        assert cfg.engine == "vm"
+        assert cfg.semantics == "threesome"
+        assert cfg.ir == "stack"
+        assert cfg.fuel == DEFAULT_FUEL["vm"]
+
+    def test_rvm_gets_register_ir(self):
+        cfg = resolve_config(engine="rvm")
+        assert cfg.ir == "register"
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_config(engine="jit")
+
+    def test_unknown_semantics(self):
+        with pytest.raises(UsageError, match="unknown"):
+            resolve_config(semantics="laissez-faire")
+
+    def test_unknown_opt_level(self):
+        with pytest.raises(UsageError):
+            resolve_config(engine="vm", opt_level=9)
+
+    def test_vm_requires_calculus_s(self):
+        with pytest.raises(UsageError):
+            resolve_config(engine="vm", calculus="B")
+
+    def test_calculus_is_uppercased(self):
+        assert resolve_config(engine="machine", calculus="b").calculus == "B"
+
+    def test_subst_requires_coercion(self):
+        with pytest.raises(UsageError):
+            resolve_config(engine="subst", semantics="threesome")
+
+    def test_cache_narrowed_to_vm_engines(self):
+        assert resolve_config(engine="machine", cache=True).cache is False
+        assert resolve_config(engine="vm", cache=True).cache is True
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            resolve_config().engine = "vm"  # type: ignore[misc]
+
+    def test_describe_is_json_ready(self):
+        import json
+
+        json.dumps(resolve_config(engine="vm").describe())
+
+
+class TestMediatorShim:
+    def test_mediator_alone_warns_and_wins(self):
+        with pytest.warns(DeprecationWarning, match="mediator= is deprecated"):
+            assert reconcile_semantics(None, "threesome") == "threesome"
+
+    def test_semantics_alone_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert reconcile_semantics("transient", None) == "transient"
+
+    def test_neither_returns_none(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert reconcile_semantics(None, None) is None
+
+    def test_conflict_prefers_semantics(self):
+        with pytest.warns(DeprecationWarning):
+            assert reconcile_semantics("coercion", "threesome") == "coercion"
+
+    def test_conflict_mode_error(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(UsageError, match="contradicts"):
+                reconcile_semantics("coercion", "threesome", conflict="error")
+
+    def test_run_source_shim_warns_once(self):
+        from repro.surface.interp import run_source
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = run_source(SQUARE, engine="vm", mediator="threesome")
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert result.is_value and result.value == 36
+        assert result.semantics == "threesome"
+
+    def test_run_source_without_mediator_is_silent(self):
+        from repro.surface.interp import run_source
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = run_source(SQUARE, engine="vm", semantics="coercion")
+        assert result.is_value and result.value == 36
+
+
+class TestRun:
+    def test_source_through_default_engine(self):
+        result = run(SQUARE)
+        assert isinstance(result, RunResult)
+        assert result.is_value and result.value == 36
+
+    def test_result_carries_resolved_config(self):
+        result = run(SQUARE, engine="vm", semantics="threesome")
+        cfg = result.config
+        assert cfg is not None
+        assert cfg.engine == "vm"
+        assert cfg.semantics == "threesome"
+        assert cfg.ir == "stack"
+        assert cfg.fuel == DEFAULT_FUEL["vm"]
+
+    def test_blame_path(self):
+        result = run(BLAME, engine="vm")
+        assert result.is_blame
+        assert "@" in str(result.blame_label)
+
+    def test_explicit_config_object(self):
+        result = run(SQUARE, RunConfig(engine="rvm"))
+        assert result.is_value and result.value == 36
+        assert result.config.engine == "rvm"
+
+    def test_cache_status_roundtrip(self, tmp_path):
+        cfg = RunConfig(engine="vm", cache=True, cache_dir=str(tmp_path))
+        cold = run(SQUARE, cfg)
+        warm = run(SQUARE, cfg)
+        assert cold.cache_status == "miss"
+        assert warm.cache_status == "hit"
+
+    def test_cache_off_status(self):
+        assert run(SQUARE, engine="vm", cache=False).cache_status is None
+
+    def test_rejects_non_program_input(self):
+        with pytest.raises(TypeError):
+            run(42)  # type: ignore[arg-type]
+
+    def test_all_engines_agree(self):
+        values = {
+            engine: run(SQUARE, engine=engine, cache=False).value
+            for engine in ("vm", "rvm", "machine", "subst")
+        }
+        assert set(values.values()) == {36}
+
+
+class TestServeValidationSharesPath:
+    def test_bad_semantics_rejected(self):
+        from repro.serve.protocol import normalize_run_request
+
+        defaults = {
+            "semantics": "coercion", "opt_level": 2, "engine": "vm",
+            "fuel": None, "deadline_s": None, "cache_dir": None,
+            "use_cache": False,
+        }
+        with pytest.raises(ValueError, match="unknown"):
+            normalize_run_request(
+                {"source": SQUARE, "semantics": "laissez-faire"}, defaults
+            )
+
+    def test_legacy_mediator_key_still_accepted(self):
+        from repro.serve.protocol import normalize_run_request
+
+        defaults = {
+            "semantics": "coercion", "opt_level": 2, "engine": "vm",
+            "fuel": None, "deadline_s": None, "cache_dir": None,
+            "use_cache": False,
+        }
+        job = normalize_run_request(
+            {"source": SQUARE, "mediator": "threesome"}, defaults
+        )
+        assert job["semantics"] == "threesome"
